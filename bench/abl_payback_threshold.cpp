@@ -1,0 +1,46 @@
+// Ablation A1: payback-threshold sweep.
+//
+// Fixes everything else at the safe policy's settings and varies only the
+// payback threshold, in the regime where risk matters (100 MB state,
+// rising dynamism).  Shows the risk/benefit trade the paper's §4.1
+// describes: tiny thresholds never swap (NONE-like), huge thresholds
+// approach greedy thrashing.
+#include "bench/bench_util.hpp"
+
+int main() {
+  auto cfg = bench::paper_config(/*active=*/4, /*iterations=*/60,
+                                 /*iter_minutes=*/2.0,
+                                 /*state_bytes=*/100.0 * bench::app::kMiB,
+                                 /*spares=*/28);
+  const std::vector<double> thresholds{0.0, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 1e9};
+  const std::vector<double> dynamisms{0.1, 0.4, 0.8};
+  const std::size_t trials = bench::trial_count();
+
+  bench::core::SeriesReport report;
+  report.title = "Ablation: payback threshold (300 MB state, 4/32 active)";
+  report.x_label = "payback_threshold_iters";
+  report.x = thresholds;
+  for (double d : dynamisms)
+    report.series.push_back(
+        {"dynamism_" + std::to_string(d).substr(0, 3), {}, {}});
+
+  for (std::size_t di = 0; di < dynamisms.size(); ++di) {
+    const bench::load::OnOffModel model(
+        bench::load::OnOffParams::dynamism(dynamisms[di]));
+    for (double threshold : thresholds) {
+      auto pol = bench::swp::safe_policy();
+      pol.payback_threshold_iters = threshold;
+      pol.min_process_improvement = 0.0;  // isolate the payback knob
+      bench::strat::SwapStrategy strategy{pol};
+      const auto stats = bench::core::run_trials(cfg, model, strategy, trials);
+      report.series[di].y.push_back(stats.mean);
+      report.series[di].adaptations.push_back(stats.mean_adaptations);
+    }
+  }
+  bench::emit(report,
+              "at mild dynamism larger thresholds keep helping (every swap "
+              "pays back); at high dynamism execution time is U-shaped: 0 "
+              "never swaps, intermediate thresholds adapt profitably, very "
+              "large thresholds admit swaps that never pay back");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench binary regenerates one figure of the paper: it sweeps the
+// figure's x axis, runs the relevant strategies for several seeds per
+// point, and prints both an aligned table and a CSV block with the same
+// series the paper plots.  Absolute seconds differ from the paper's (their
+// platform constants are only partly specified); the *shape* — who wins,
+// by what factor, where the crossovers fall — is the reproduction target.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "load/hyperexp.hpp"
+#include "load/onoff.hpp"
+#include "swap/policy.hpp"
+
+namespace bench {
+
+namespace core = simsweep::core;
+namespace app = simsweep::app;
+namespace load = simsweep::load;
+namespace strat = simsweep::strategy;
+namespace swp = simsweep::swap;
+
+/// The paper's standard platform: 32 workstations, 100-500 Mflop/s, one
+/// shared 6 MB/s link, 0.75 s startup per process.
+inline core::ExperimentConfig paper_config(std::size_t active,
+                                           std::size_t iterations,
+                                           double iter_minutes,
+                                           double state_bytes,
+                                           std::size_t spares) {
+  core::ExperimentConfig cfg;
+  cfg.cluster.host_count = 32;
+  cfg.app = app::AppSpec::with_iteration_minutes(active, iterations,
+                                                 iter_minutes);
+  cfg.app.comm_bytes_per_process = 100.0 * app::kKiB;
+  cfg.app.state_bytes_per_process = state_bytes;
+  cfg.spare_count = spares;
+  cfg.seed = 1;
+  return cfg;
+}
+
+/// Number of seeds averaged per sweep point.  Override with the
+/// SIMSWEEP_TRIALS environment variable (benches stay fast in CI).
+inline std::size_t trial_count() {
+  if (const char* env = std::getenv("SIMSWEEP_TRIALS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 8;
+}
+
+struct NamedStrategy {
+  std::string name;
+  std::unique_ptr<strat::Strategy> strategy;
+};
+
+inline std::vector<NamedStrategy> technique_lineup() {
+  std::vector<NamedStrategy> out;
+  out.push_back({"NONE", std::make_unique<strat::NoneStrategy>()});
+  out.push_back({"SWAP", std::make_unique<strat::SwapStrategy>(
+                             swp::greedy_policy())});
+  out.push_back({"DLB", std::make_unique<strat::DlbStrategy>()});
+  out.push_back({"CR", std::make_unique<strat::CrStrategy>(
+                           swp::greedy_policy())});
+  return out;
+}
+
+inline std::vector<NamedStrategy> policy_lineup() {
+  std::vector<NamedStrategy> out;
+  out.push_back({"NONE", std::make_unique<strat::NoneStrategy>()});
+  out.push_back({"greedy", std::make_unique<strat::SwapStrategy>(
+                               swp::greedy_policy())});
+  out.push_back({"safe", std::make_unique<strat::SwapStrategy>(
+                             swp::safe_policy())});
+  out.push_back({"friendly", std::make_unique<strat::SwapStrategy>(
+                                 swp::friendly_policy())});
+  return out;
+}
+
+/// Sweeps ON/OFF dynamism (the paper's "load probability" axis) for a fixed
+/// configuration and a set of strategies.
+inline core::SeriesReport sweep_dynamism(const core::ExperimentConfig& base,
+                                         const std::vector<double>& xs,
+                                         std::vector<NamedStrategy> lineup,
+                                         std::string title) {
+  core::SeriesReport report;
+  report.title = std::move(title);
+  report.x_label = "load_probability";
+  report.x = xs;
+  const std::size_t trials = trial_count();
+  for (auto& entry : lineup)
+    report.series.push_back({entry.name, {}, {}});
+  for (double x : xs) {
+    const load::OnOffModel model(load::OnOffParams::dynamism(x));
+    for (std::size_t i = 0; i < lineup.size(); ++i) {
+      const auto stats =
+          core::run_trials(base, model, *lineup[i].strategy, trials);
+      report.series[i].y.push_back(stats.mean);
+      report.series[i].adaptations.push_back(stats.mean_adaptations);
+    }
+  }
+  return report;
+}
+
+/// Prints the standard bench output: expectation header, table, CSV.
+inline void emit(const core::SeriesReport& report,
+                 const std::string& expectation) {
+  std::cout << "==== " << report.title << " ====\n";
+  std::cout << "# paper expectation: " << expectation << "\n";
+  report.print_table(std::cout);
+  std::cout << "\n-- csv --\n";
+  report.print_csv(std::cout);
+  std::cout << std::endl;
+}
+
+}  // namespace bench

@@ -1,0 +1,72 @@
+// Extension experiment: desktop-grid owner reclamation (paper §2's proposed
+// combination of swapping with Condor-style cycle stealing — future work in
+// the paper, implemented here).
+//
+// Hosts alternate between available and reclaimed (owner at the console; the
+// guest process is suspended but its memory stays reachable).  Compares:
+//   NONE            — stalls through every outage on its hosts,
+//   SWAP            — boundary-only swapping: escapes a reclaimed host only
+//                     after the stalled iteration eventually finishes,
+//   SWAP+guard      — the eviction watchdog aborts the stalled iteration and
+//                     force-migrates the suspended process,
+//   CR              — boundary-only checkpoint/restart (same limitation as
+//                     plain SWAP).
+#include "bench/bench_util.hpp"
+
+#include "load/reclamation.hpp"
+
+int main() {
+  auto cfg = bench::paper_config(/*active=*/4, /*iterations=*/40,
+                                 /*iter_minutes=*/2.0,
+                                 /*state_bytes=*/10.0 * bench::app::kMiB,
+                                 /*spares=*/28);
+  cfg.horizon_s = 10.0 * 24.0 * 3600.0;
+  // x axis: mean reclaimed stretch (minutes); availability stretch fixed at
+  // one hour.
+  const std::vector<double> reclaim_minutes{2, 5, 10, 20, 40, 80};
+  const std::size_t trials = bench::trial_count();
+
+  bench::core::SeriesReport report;
+  report.title =
+      "Extension: owner reclamation (4/32 active, 1 h mean availability)";
+  report.x_label = "mean_reclaimed_min";
+  report.x = reclaim_minutes;
+
+  struct Entry {
+    std::string name;
+    std::unique_ptr<bench::strat::Strategy> strategy;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"NONE", std::make_unique<bench::strat::NoneStrategy>()});
+  entries.push_back({"SWAP", std::make_unique<bench::strat::SwapStrategy>(
+                                 bench::swp::greedy_policy())});
+  bench::strat::SwapOptions guard;
+  guard.eviction_guard = true;
+  guard.stall_factor = 2.0;
+  entries.push_back({"SWAP+guard",
+                     std::make_unique<bench::strat::SwapStrategy>(
+                         bench::swp::greedy_policy(), guard)});
+  entries.push_back({"CR", std::make_unique<bench::strat::CrStrategy>(
+                               bench::swp::greedy_policy())});
+  for (const Entry& e : entries) report.series.push_back({e.name, {}, {}});
+
+  for (double minutes : reclaim_minutes) {
+    const bench::load::ReclamationModel model(
+        nullptr, simsweep::load::ReclamationParams{
+                     .mean_available_s = 3600.0,
+                     .mean_reclaimed_s = minutes * 60.0,
+                 });
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const auto stats = bench::core::run_trials(cfg, model,
+                                                 *entries[i].strategy, trials);
+      report.series[i].y.push_back(stats.mean);
+      report.series[i].adaptations.push_back(stats.mean_adaptations);
+    }
+  }
+  bench::emit(report,
+              "all techniques suffer as reclamations lengthen; the eviction "
+              "guard caps the damage near one aborted iteration per outage, "
+              "with the gap over boundary-only SWAP growing with the "
+              "reclamation length");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 1: the payback-distance concept.
+//
+// Reproduces the paper's §5 worked example: iteration time and swap time
+// are both 10 s.  We emit the application-progress-vs-time trajectories for
+// "no swap", "swap then 2x performance" and "swap then 4x performance",
+// plus the payback distances (2 and 1 1/3 iterations respectively), and a
+// cautionary series where the predicted improvement does not materialize.
+#include <cstdio>
+
+#include "swap/payback.hpp"
+
+namespace swp = simsweep::swap;
+
+namespace {
+
+/// Progress (iterations completed, fractional) at time t for an execution
+/// that pauses `swap_time` at t=0 (first) and then iterates every
+/// `iter_time` seconds.
+double progress(double t, double swap_time, double iter_time) {
+  if (t <= swap_time) return 0.0;
+  return (t - swap_time) / iter_time;
+}
+
+}  // namespace
+
+int main() {
+  const double iter = 10.0;  // seconds per iteration before the swap
+  const double swap = 10.0;  // swap pause
+
+  std::puts("==== Fig 1: payback distance (progress vs time) ====");
+  std::puts("# paper expectation: after a swap pause, the faster rate");
+  std::puts("# overtakes the no-swap trajectory after 'payback' iterations;");
+  std::puts("# 2x perf -> payback 2, 4x perf -> payback 4/3");
+
+  const double payback2 = swp::payback_distance(swap, iter, 1.0, 2.0);
+  const double payback4 = swp::payback_distance(swap, iter, 1.0, 4.0);
+  const double payback_drop = swp::payback_distance(swap, iter, 1.0, 0.8);
+  std::printf("payback(2x) = %.6f iterations (paper: 2)\n", payback2);
+  std::printf("payback(4x) = %.6f iterations (paper: 1 1/3)\n", payback4);
+  std::printf("payback(0.8x) = %.6f (negative: swap can only hurt)\n\n",
+              payback_drop);
+
+  std::puts("-- csv --");
+  std::puts("time,no_swap,swap_2x,swap_4x,swap_regression_0.8x");
+  for (double t = 0.0; t <= 60.0; t += 2.5) {
+    std::printf("%.1f,%.4f,%.4f,%.4f,%.4f\n", t, t / iter,
+                progress(t, swap, iter / 2.0), progress(t, swap, iter / 4.0),
+                progress(t, swap, iter / 0.8));
+  }
+
+  // Crossover check: the 2x trajectory must meet the no-swap line exactly
+  // payback2 iterations (at the new rate) after the swap completes.
+  const double cross_t = swap + payback2 * (iter / 2.0);
+  std::printf("\ncrossover(2x) at t=%.2f s: no_swap=%.4f swap=%.4f\n", cross_t,
+              cross_t / iter, progress(cross_t, swap, iter / 2.0));
+  return 0;
+}

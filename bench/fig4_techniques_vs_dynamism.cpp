@@ -1,0 +1,21 @@
+// Figure 4: execution time of NONE / SWAP(greedy) / DLB / CR across the
+// full range of ON/OFF environment dynamism.
+// Paper parameters: 4 active of 32 total processors, 1 MB process state.
+#include "bench/bench_util.hpp"
+
+int main() {
+  auto cfg = bench::paper_config(/*active=*/4, /*iterations=*/60,
+                                 /*iter_minutes=*/2.0,
+                                 /*state_bytes=*/bench::app::kMiB,
+                                 /*spares=*/28);
+  const std::vector<double> xs{0.0,  0.05, 0.1, 0.15, 0.2, 0.3,
+                               0.4,  0.5,  0.6, 0.8,  1.0};
+  const auto report = bench::sweep_dynamism(
+      cfg, xs, bench::technique_lineup(),
+      "Fig 4: techniques vs environment dynamism (4/32 active, 1 MB state)");
+  bench::emit(report,
+              "little difference when quiescent; SWAP/DLB/CR up to ~40% "
+              "better than NONE at moderate dynamism; convergence again "
+              "when highly dynamic");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 6: effect of process-state size on SWAP and CR.
+// Paper parameters: two process sizes, 1 MB and 1 GB; NONE for reference.
+// With 1 GB of state the swap time (~3 min over the 6 MB/s link) exceeds
+// the ~50 s iteration time and swapping turns harmful.
+#include "bench/bench_util.hpp"
+
+int main() {
+  const std::vector<double> xs{0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.8, 1.0};
+  const std::size_t trials = bench::trial_count();
+
+  bench::core::SeriesReport report;
+  report.title = "Fig 6: techniques vs dynamism for 1 MB and 1 GB state "
+                 "(4/32 active, ~50 s iterations)";
+  report.x_label = "load_probability";
+  report.x = xs;
+
+  struct Variant {
+    std::string name;
+    double state_bytes;
+    std::unique_ptr<bench::strat::Strategy> strategy;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"NONE", bench::app::kMiB,
+                      std::make_unique<bench::strat::NoneStrategy>()});
+  variants.push_back({"SWAP_1MB", bench::app::kMiB,
+                      std::make_unique<bench::strat::SwapStrategy>(
+                          bench::swp::greedy_policy())});
+  variants.push_back({"CR_1MB", bench::app::kMiB,
+                      std::make_unique<bench::strat::CrStrategy>(
+                          bench::swp::greedy_policy())});
+  variants.push_back({"SWAP_1GB", bench::app::kGiB,
+                      std::make_unique<bench::strat::SwapStrategy>(
+                          bench::swp::greedy_policy())});
+  variants.push_back({"CR_1GB", bench::app::kGiB,
+                      std::make_unique<bench::strat::CrStrategy>(
+                          bench::swp::greedy_policy())});
+  for (auto& v : variants) report.series.push_back({v.name, {}, {}});
+
+  for (double x : xs) {
+    const bench::load::OnOffModel model(
+        bench::load::OnOffParams::dynamism(x));
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      // ~50 s iterations: the regime the paper quotes for this figure.
+      auto cfg = bench::paper_config(/*active=*/4, /*iterations=*/60,
+                                     /*iter_minutes=*/50.0 / 60.0,
+                                     variants[i].state_bytes, /*spares=*/28);
+      const auto stats = bench::core::run_trials(
+          cfg, model, *variants[i].strategy, trials);
+      report.series[i].y.push_back(stats.mean);
+      report.series[i].adaptations.push_back(stats.mean_adaptations);
+    }
+  }
+  bench::emit(report,
+              "SWAP/CR beneficial at 1 MB state but harmful at 1 GB, where "
+              "the transfer takes longer than an iteration (NONE-relative "
+              "slowdown instead of speedup)");
+  return 0;
+}

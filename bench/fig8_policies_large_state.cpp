@@ -1,0 +1,23 @@
+// Figure 8: the three swapping policies when process state is large (1 GB).
+// Paper parameters: 2 active of 32 total processors; the swap time is about
+// twice the iteration time, so only the risk-averse safe policy avoids
+// thrashing.
+#include "bench/bench_util.hpp"
+
+int main() {
+  // 1 GiB over 6 MB/s is ~179 s; ~90 s iterations give the paper's 2:1
+  // swap-time-to-iteration-time ratio.
+  auto cfg = bench::paper_config(/*active=*/2, /*iterations=*/60,
+                                 /*iter_minutes=*/1.5,
+                                 /*state_bytes=*/bench::app::kGiB,
+                                 /*spares=*/30);
+  const std::vector<double> xs{0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.8, 1.0};
+  const auto report = bench::sweep_dynamism(
+      cfg, xs, bench::policy_lineup(),
+      "Fig 8: policies with 1 GB state (2/32 active, swap ~2x iteration)");
+  bench::emit(report,
+              "greedy and friendly spend their time chasing unobtainable "
+              "performance (swap-time >> payback) and end up worse than "
+              "NONE; only safe stays near the NONE baseline");
+  return 0;
+}

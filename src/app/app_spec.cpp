@@ -1,0 +1,29 @@
+#include "app/app_spec.hpp"
+
+#include <numeric>
+
+namespace simsweep::app {
+
+WorkPartition WorkPartition::equal(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("WorkPartition: zero slots");
+  return WorkPartition(
+      std::vector<double>(n, 1.0 / static_cast<double>(n)));
+}
+
+WorkPartition WorkPartition::proportional(const std::vector<double>& weights) {
+  if (weights.empty())
+    throw std::invalid_argument("WorkPartition: no weights");
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("WorkPartition: negative weight");
+    total += w;
+  }
+  if (total <= 0.0)
+    throw std::invalid_argument("WorkPartition: weights sum to zero");
+  std::vector<double> fractions;
+  fractions.reserve(weights.size());
+  for (double w : weights) fractions.push_back(w / total);
+  return WorkPartition(std::move(fractions));
+}
+
+}  // namespace simsweep::app

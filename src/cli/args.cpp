@@ -1,0 +1,110 @@
+#include "cli/args.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace simsweep::cli {
+
+Args::Args(std::vector<std::string> tokens) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    if (token.rfind("--", 0) != 0) {
+      positional_.push_back(token);
+      continue;
+    }
+    const std::string body = token.substr(2);
+    if (body.empty())
+      throw std::invalid_argument("Args: bare '--' is not a flag");
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < tokens.size() && tokens[i + 1].rfind("--", 0) != 0) {
+      flags_[body] = tokens[++i];
+    } else {
+      flags_[body] = "";  // boolean flag
+    }
+  }
+  for (const auto& [name, _] : flags_) consumed_[name] = false;
+}
+
+std::optional<std::string> Args::raw(const std::string& flag) {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end()) return std::nullopt;
+  consumed_[flag] = true;
+  return it->second;
+}
+
+bool Args::has(const std::string& flag) const {
+  return flags_.contains(flag);
+}
+
+std::string Args::get_string(const std::string& flag,
+                             const std::string& fallback) {
+  const auto v = raw(flag);
+  return v ? *v : fallback;
+}
+
+double Args::get_double(const std::string& flag, double fallback) {
+  const auto v = raw(flag);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  if (end == v->c_str() || *end != '\0')
+    throw std::invalid_argument("Args: --" + flag + " expects a number, got '" +
+                                *v + "'");
+  return parsed;
+}
+
+long Args::get_int(const std::string& flag, long fallback) {
+  const auto v = raw(flag);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0')
+    throw std::invalid_argument("Args: --" + flag +
+                                " expects an integer, got '" + *v + "'");
+  return parsed;
+}
+
+bool Args::get_bool(const std::string& flag) {
+  const auto v = raw(flag);
+  if (!v) return false;
+  if (v->empty() || *v == "true" || *v == "1") return true;
+  if (*v == "false" || *v == "0") return false;
+  throw std::invalid_argument("Args: --" + flag + " expects a boolean, got '" +
+                              *v + "'");
+}
+
+std::vector<double> Args::get_double_list(const std::string& flag,
+                                          const std::vector<double>& fallback) {
+  const auto v = raw(flag);
+  if (!v) return fallback;
+  std::vector<double> out;
+  std::size_t start = 0;
+  while (start <= v->size()) {
+    const std::size_t comma = v->find(',', start);
+    const std::string item =
+        v->substr(start, comma == std::string::npos ? std::string::npos
+                                                    : comma - start);
+    if (item.empty())
+      throw std::invalid_argument("Args: --" + flag + " has an empty element");
+    char* end = nullptr;
+    const double parsed = std::strtod(item.c_str(), &end);
+    if (end == item.c_str() || *end != '\0')
+      throw std::invalid_argument("Args: --" + flag +
+                                  " expects numbers, got '" + item + "'");
+    out.push_back(parsed);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> Args::unused_flags() const {
+  std::vector<std::string> out;
+  for (const auto& [name, used] : consumed_)
+    if (!used) out.push_back(name);
+  return out;
+}
+
+}  // namespace simsweep::cli

@@ -1,0 +1,49 @@
+// Minimal command-line parsing for the simsweep CLI.
+//
+// Supports `--name=value`, `--name value`, bare boolean `--flag`, and
+// positional arguments.  Unknown-flag detection is the caller's job via
+// unused_flags(), so each subcommand can own its flag set.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace simsweep::cli {
+
+class Args {
+ public:
+  /// Parses argv-style input (argv[0] excluded).
+  explicit Args(std::vector<std::string> tokens);
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  [[nodiscard]] bool has(const std::string& flag) const;
+
+  /// Typed getters; throw std::invalid_argument on malformed values.
+  [[nodiscard]] std::string get_string(const std::string& flag,
+                                       const std::string& fallback);
+  [[nodiscard]] double get_double(const std::string& flag, double fallback);
+  [[nodiscard]] long get_int(const std::string& flag, long fallback);
+  [[nodiscard]] bool get_bool(const std::string& flag);
+
+  /// Comma-separated list of doubles (e.g. --points=0,0.1,0.5).
+  [[nodiscard]] std::vector<double> get_double_list(
+      const std::string& flag, const std::vector<double>& fallback);
+
+  /// Flags that were supplied but never read; nonempty means a typo.
+  [[nodiscard]] std::vector<std::string> unused_flags() const;
+
+ private:
+  [[nodiscard]] std::optional<std::string> raw(const std::string& flag);
+
+  std::map<std::string, std::string> flags_;
+  std::map<std::string, bool> consumed_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace simsweep::cli

@@ -1,0 +1,158 @@
+#include "cli/config_build.hpp"
+
+#include <stdexcept>
+
+#include "forecast/forecaster.hpp"
+#include "load/hyperexp.hpp"
+#include "load/misc_models.hpp"
+#include "load/onoff.hpp"
+#include "load/reclamation.hpp"
+#include "load/trace_io.hpp"
+#include "strategy/estimator.hpp"
+#include "swap/policy.hpp"
+
+namespace simsweep::cli {
+
+core::ExperimentConfig build_config(Args& args) {
+  core::ExperimentConfig cfg;
+  cfg.cluster.host_count = static_cast<std::size_t>(args.get_int("hosts", 32));
+  const auto active = static_cast<std::size_t>(args.get_int("active", 4));
+  const auto iters = static_cast<std::size_t>(args.get_int("iters", 60));
+  const double minutes = args.get_double("iter-minutes", 2.0);
+  cfg.app = app::AppSpec::with_iteration_minutes(active, iters, minutes);
+  cfg.app.state_bytes_per_process =
+      args.get_double("state-mb", 1.0) * app::kMiB;
+  cfg.app.comm_bytes_per_process =
+      args.get_double("comm-kb", 100.0) * app::kKiB;
+  cfg.spare_count = static_cast<std::size_t>(
+      args.get_int("spares", static_cast<long>(cfg.cluster.host_count -
+                                               active)));
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  cfg.horizon_s = args.get_double("horizon-hours", 2880.0) * 3600.0;
+  if (active + cfg.spare_count > cfg.cluster.host_count)
+    throw std::invalid_argument(
+        "config: active + spares exceeds --hosts");
+  return cfg;
+}
+
+std::shared_ptr<const load::LoadModel> build_load_model(Args& args) {
+  const std::string model = args.get_string("model", "onoff");
+  if (model == "onoff") {
+    load::OnOffParams params;
+    if (args.has("dynamism")) {
+      params = load::OnOffParams::dynamism(args.get_double("dynamism", 0.2));
+    } else {
+      params.p = args.get_double("p", params.p);
+      params.q = args.get_double("q", params.q);
+    }
+    params.step_s = args.get_double("step", params.step_s);
+    return std::make_shared<load::OnOffModel>(params);
+  }
+  if (model == "hyperexp") {
+    load::HyperExpParams params;
+    params.mean_lifetime_s = args.get_double("lifetime", 300.0);
+    params.long_prob = args.get_double("long-prob", 0.2);
+    params.mean_interarrival_s =
+        args.get_double("interarrival", 2.0 * params.mean_lifetime_s);
+    return std::make_shared<load::HyperExpModel>(params);
+  }
+  if (model == "reclaim") {
+    load::ReclamationParams params;
+    params.mean_available_s = args.get_double("avail-min", 60.0) * 60.0;
+    params.mean_reclaimed_s = args.get_double("reclaim-min", 10.0) * 60.0;
+    std::shared_ptr<const load::LoadModel> base;
+    if (args.has("dynamism"))
+      base = std::make_shared<load::OnOffModel>(
+          load::OnOffParams::dynamism(args.get_double("dynamism", 0.2)));
+    return std::make_shared<load::ReclamationModel>(base, params);
+  }
+  if (model == "trace") {
+    const std::string path = args.get_string("trace-file", "");
+    if (path.empty())
+      throw std::invalid_argument("--model=trace requires --trace-file");
+    auto samples = load::read_trace_file(path);
+    const double period =
+        args.get_double("period", samples.back().time + 1.0);
+    return std::make_shared<load::TraceModel>(
+        std::move(samples), period, !args.get_bool("no-phase"));
+  }
+  throw std::invalid_argument("unknown --model '" + model +
+                              "' (onoff|hyperexp|reclaim|trace)");
+}
+
+namespace {
+
+swap::PolicyParams build_policy(Args& args) {
+  const std::string name = args.get_string("policy", "greedy");
+  swap::PolicyParams policy;
+  if (name == "greedy") {
+    policy = swap::greedy_policy();
+  } else if (name == "safe") {
+    policy = swap::safe_policy();
+  } else if (name == "friendly") {
+    policy = swap::friendly_policy();
+  } else {
+    throw std::invalid_argument("unknown --policy '" + name +
+                                "' (greedy|safe|friendly)");
+  }
+  policy.payback_threshold_iters =
+      args.get_double("payback", policy.payback_threshold_iters);
+  policy.min_process_improvement =
+      args.get_double("min-process", policy.min_process_improvement);
+  policy.min_app_improvement =
+      args.get_double("min-app", policy.min_app_improvement);
+  policy.history_window_s = args.get_double("history", policy.history_window_s);
+  return policy;
+}
+
+std::shared_ptr<strategy::SpeedEstimator> build_estimator(Args& args) {
+  const std::string predictor = args.get_string("predictor", "window");
+  if (predictor == "window") return nullptr;  // policy window semantics
+  if (predictor == "nws")
+    return strategy::make_forecast_estimator(
+        [] { return forecast::make_default_ensemble(); }, "nws_adaptive");
+  if (predictor == "ewma") {
+    const double tau = args.get_double("ewma-tau", 120.0);
+    return strategy::make_forecast_estimator(
+        [tau] { return forecast::make_ewma(tau); },
+        "ewma_" + std::to_string(static_cast<int>(tau)) + "s");
+  }
+  if (predictor == "median") {
+    const auto k = static_cast<std::size_t>(args.get_int("median-k", 5));
+    return strategy::make_forecast_estimator(
+        [k] { return forecast::make_sliding_median(k); },
+        "median_" + std::to_string(k));
+  }
+  throw std::invalid_argument("unknown --predictor '" + predictor +
+                              "' (window|nws|ewma|median)");
+}
+
+}  // namespace
+
+std::unique_ptr<strategy::Strategy> build_strategy(Args& args) {
+  const std::string name = args.get_string("strategy", "swap");
+  if (name == "none") return std::make_unique<strategy::NoneStrategy>();
+  if (name == "dlb") return std::make_unique<strategy::DlbStrategy>();
+  if (name == "cr")
+    return std::make_unique<strategy::CrStrategy>(build_policy(args));
+  if (name == "swap") {
+    strategy::SwapOptions options;
+    options.estimator = build_estimator(args);
+    options.eviction_guard = args.get_bool("guard");
+    options.stall_factor = args.get_double("stall-factor", 3.0);
+    return std::make_unique<strategy::SwapStrategy>(build_policy(args),
+                                                    options);
+  }
+  throw std::invalid_argument("unknown --strategy '" + name +
+                              "' (none|swap|dlb|cr)");
+}
+
+void reject_unused(const Args& args) {
+  const auto unused = args.unused_flags();
+  if (unused.empty()) return;
+  std::string message = "unknown flag(s):";
+  for (const std::string& f : unused) message += " --" + f;
+  throw std::invalid_argument(message);
+}
+
+}  // namespace simsweep::cli

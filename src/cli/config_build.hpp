@@ -1,0 +1,33 @@
+// Translates CLI flags into experiment configurations, load models and
+// strategies.  Factored out of main() so it is unit-testable.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cli/args.hpp"
+#include "core/experiment.hpp"
+#include "load/load_model.hpp"
+#include "strategy/strategy.hpp"
+
+namespace simsweep::cli {
+
+/// Flags: --hosts --active --spares --iters --iter-minutes --state-mb
+/// --comm-kb --seed --horizon-hours.
+[[nodiscard]] core::ExperimentConfig build_config(Args& args);
+
+/// Flags: --model=onoff|hyperexp|reclaim (+ model parameters:
+/// --dynamism | --p/--q/--step, --lifetime/--long-prob/--interarrival,
+/// --avail-min/--reclaim-min).
+[[nodiscard]] std::shared_ptr<const load::LoadModel> build_load_model(
+    Args& args);
+
+/// Flags: --strategy=none|swap|dlb|cr, --policy=greedy|safe|friendly,
+/// --payback/--min-process/--min-app/--history (policy overrides),
+/// --guard, --predictor=window|nws|ewma|median.
+[[nodiscard]] std::unique_ptr<strategy::Strategy> build_strategy(Args& args);
+
+/// Throws std::invalid_argument listing any unconsumed flags.
+void reject_unused(const Args& args);
+
+}  // namespace simsweep::cli

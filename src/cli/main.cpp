@@ -1,0 +1,160 @@
+// simsweep — command-line front end to the simulation library.
+//
+//   simsweep run   [platform/app flags] --strategy=... --trials=8
+//   simsweep sweep [platform/app flags] --points=0,0.05,0.1,...   (all four
+//                  techniques across ON/OFF dynamism)
+//   simsweep trace --model=onoff --duration=2000      (load trace as CSV)
+//   simsweep help
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cli/config_build.hpp"
+#include "load/onoff.hpp"
+#include "platform/host.hpp"
+#include "simcore/simulator.hpp"
+#include "swap/policy.hpp"
+
+namespace cli = simsweep::cli;
+namespace core = simsweep::core;
+namespace strat = simsweep::strategy;
+
+namespace {
+
+constexpr const char* kUsage = R"(simsweep — MPI process swapping policy simulator
+
+usage: simsweep <command> [flags]
+
+commands:
+  run     simulate one strategy, print per-trial statistics
+  sweep   compare NONE/SWAP/DLB/CR across ON/OFF dynamism
+  trace   emit a CPU-load trace as CSV
+  help    this text
+
+platform/application flags (run, sweep):
+  --hosts=32 --active=4 --spares=<hosts-active> --iters=60
+  --iter-minutes=2 --state-mb=1 --comm-kb=100 --seed=1 --trials=8
+
+load model flags (run, trace):
+  --model=onoff   --dynamism=0.2 | --p=0.3 --q=0.08 [--step=100]
+  --model=hyperexp --lifetime=300 [--long-prob=0.2] [--interarrival=600]
+  --model=reclaim --avail-min=60 --reclaim-min=10 [--dynamism=...]
+
+strategy flags (run):
+  --strategy=none|swap|dlb|cr
+  --policy=greedy|safe|friendly  [--payback --min-process --min-app --history]
+  --predictor=window|nws|ewma|median  [--ewma-tau --median-k]
+  --guard [--stall-factor=3]          (eviction watchdog)
+
+examples:
+  simsweep run --strategy=swap --policy=safe --dynamism=0.2 --trials=10
+  simsweep sweep --points=0,0.05,0.1,0.2,0.4,0.8 --state-mb=100
+  simsweep trace --model=hyperexp --lifetime=150 --duration=2000
+)";
+
+int cmd_run(cli::Args& args) {
+  const auto trials = static_cast<std::size_t>(args.get_int("trials", 8));
+  auto cfg = cli::build_config(args);
+  const auto model = cli::build_load_model(args);
+  auto strategy = cli::build_strategy(args);
+  cli::reject_unused(args);
+
+  const auto stats = core::run_trials(cfg, *model, *strategy, trials);
+  std::printf("strategy        %s\n", strategy->name().c_str());
+  std::printf("trials          %zu (seeds %llu..%llu)\n", stats.trials,
+              static_cast<unsigned long long>(cfg.seed),
+              static_cast<unsigned long long>(cfg.seed + trials - 1));
+  std::printf("makespan mean   %.1f s\n", stats.mean);
+  std::printf("makespan stddev %.1f s\n", stats.stddev);
+  std::printf("makespan range  [%.1f, %.1f] s\n", stats.min, stats.max);
+  std::printf("adaptations     %.1f per run\n", stats.mean_adaptations);
+  if (stats.unfinished > 0)
+    std::printf("WARNING: %zu run(s) hit the simulation horizon\n",
+                stats.unfinished);
+  return 0;
+}
+
+int cmd_sweep(cli::Args& args) {
+  const auto trials = static_cast<std::size_t>(args.get_int("trials", 8));
+  auto cfg = cli::build_config(args);
+  const std::vector<double> points = args.get_double_list(
+      "points", {0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.8, 1.0});
+  cli::reject_unused(args);
+
+  core::SeriesReport report;
+  report.title = "sweep: techniques vs ON/OFF dynamism";
+  report.x_label = "load_probability";
+  report.x = points;
+  std::vector<std::unique_ptr<strat::Strategy>> lineup;
+  lineup.push_back(std::make_unique<strat::NoneStrategy>());
+  lineup.push_back(
+      std::make_unique<strat::SwapStrategy>(simsweep::swap::greedy_policy()));
+  lineup.push_back(std::make_unique<strat::DlbStrategy>());
+  lineup.push_back(
+      std::make_unique<strat::CrStrategy>(simsweep::swap::greedy_policy()));
+  for (const auto& s : lineup) report.series.push_back({s->name(), {}, {}});
+
+  for (double x : points) {
+    const simsweep::load::OnOffModel model(
+        simsweep::load::OnOffParams::dynamism(x));
+    for (std::size_t i = 0; i < lineup.size(); ++i) {
+      const auto stats = core::run_trials(cfg, model, *lineup[i], trials);
+      report.series[i].y.push_back(stats.mean);
+      report.series[i].adaptations.push_back(stats.mean_adaptations);
+    }
+  }
+  report.print_table(std::cout);
+  std::cout << "\n";
+  report.print_csv(std::cout);
+  return 0;
+}
+
+int cmd_trace(cli::Args& args) {
+  const double duration = args.get_double("duration", 2000.0);
+  const auto model = cli::build_load_model(args);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  cli::reject_unused(args);
+
+  simsweep::sim::Simulator simulator;
+  simsweep::platform::Host host(simulator, 0, 300.0e6, "traced");
+  auto source = model->make_source(simsweep::sim::Rng(seed));
+  source->start(simulator, host);
+  simulator.run_until(duration);
+
+  std::printf("time,cpu_load\n");
+  double last = 0.0;
+  for (const auto& sample : host.load_history()) {
+    if (sample.time > duration) break;
+    std::printf("%.1f,%.0f\n%.1f,%.0f\n", sample.time, last, sample.time,
+                sample.value);
+    last = sample.value;
+  }
+  std::printf("%.1f,%.0f\n", duration, last);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> tokens(argv + 1, argv + argc);
+  if (tokens.empty() || tokens[0] == "help" || tokens[0] == "--help") {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  const std::string command = tokens[0];
+  tokens.erase(tokens.begin());
+  try {
+    cli::Args args(std::move(tokens));
+    if (command == "run") return cmd_run(args);
+    if (command == "sweep") return cmd_sweep(args);
+    if (command == "trace") return cmd_trace(args);
+    std::fprintf(stderr, "simsweep: unknown command '%s'\n\n%s",
+                 command.c_str(), kUsage);
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "simsweep: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,105 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+#include "net/shared_link.hpp"
+#include "simcore/simulator.hpp"
+
+namespace simsweep::core {
+
+strategy::RunResult run_single(const ExperimentConfig& config,
+                               const load::LoadModel& model,
+                               strategy::Strategy& strat) {
+  config.app.validate();
+  sim::Simulator simulator;
+  sim::Rng platform_rng(config.seed, /*stream=*/0);
+  platform::Cluster cluster(simulator, config.cluster, platform_rng);
+  // Load sources set their initial state synchronously here, before the
+  // initial schedule reads effective speeds.
+  auto sources = load::LoadModel::attach_all(model, simulator, cluster,
+                                             sim::derive_seed(config.seed, 1));
+  net::SharedLinkNetwork network(simulator, config.cluster.link);
+  strategy::StrategyContext ctx{
+      .simulator = simulator,
+      .cluster = cluster,
+      .network = network,
+      .spec = config.app,
+      .spare_count = config.spare_count,
+      .initial_schedule = config.initial_schedule,
+  };
+  auto exec = strat.launch(ctx);
+  // Load sources generate events forever; stop as soon as the app is done.
+  // run_until(horizon) bounds pathological runs.
+  while (!exec->done() && simulator.now() < config.horizon_s &&
+         !simulator.idle()) {
+    simulator.run_until(
+        std::min(config.horizon_s, simulator.now() + 24.0 * 3600.0));
+    if (exec->done()) break;
+  }
+  strategy::RunResult result = exec->result();
+  if (!result.finished) result.makespan_s = simulator.now();
+  return result;
+}
+
+TrialStats run_trials(ExperimentConfig config, const load::LoadModel& model,
+                      strategy::Strategy& strategy, std::size_t trials) {
+  if (trials == 0) throw std::invalid_argument("run_trials: zero trials");
+  TrialStats stats;
+  stats.trials = trials;
+  stats.min = std::numeric_limits<double>::infinity();
+  stats.max = -std::numeric_limits<double>::infinity();
+  double sum = 0.0, sum_sq = 0.0, adapt_sum = 0.0;
+  const std::uint64_t base_seed = config.seed;
+  for (std::size_t t = 0; t < trials; ++t) {
+    config.seed = base_seed + t;
+    const strategy::RunResult r = run_single(config, model, strategy);
+    if (!r.finished) ++stats.unfinished;
+    sum += r.makespan_s;
+    sum_sq += r.makespan_s * r.makespan_s;
+    adapt_sum += static_cast<double>(r.adaptations);
+    stats.min = std::min(stats.min, r.makespan_s);
+    stats.max = std::max(stats.max, r.makespan_s);
+  }
+  const double n = static_cast<double>(trials);
+  stats.mean = sum / n;
+  const double var = std::max(0.0, sum_sq / n - stats.mean * stats.mean);
+  stats.stddev = std::sqrt(var);
+  stats.mean_adaptations = adapt_sum / n;
+  return stats;
+}
+
+void SeriesReport::print_table(std::ostream& os) const {
+  os << "# " << title << "\n";
+  os << std::setw(14) << x_label;
+  for (const Series& s : series) os << std::setw(16) << s.name;
+  os << '\n';
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    os << std::setw(14) << std::setprecision(6) << x[i];
+    for (const Series& s : series)
+      os << std::setw(16) << std::fixed << std::setprecision(1)
+         << (i < s.y.size() ? s.y[i] : std::numeric_limits<double>::quiet_NaN())
+         << std::defaultfloat;
+    os << '\n';
+  }
+}
+
+void SeriesReport::print_csv(std::ostream& os) const {
+  os << std::setprecision(10);
+  os << x_label;
+  for (const Series& s : series) os << ',' << s.name;
+  os << '\n';
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    os << x[i];
+    for (const Series& s : series)
+      os << ','
+         << (i < s.y.size() ? s.y[i] : std::numeric_limits<double>::quiet_NaN());
+    os << '\n';
+  }
+}
+
+}  // namespace simsweep::core

@@ -1,0 +1,80 @@
+// Top-level experiment API: configure a platform + load model + application,
+// run strategies on it, repeat across seeds, and report series shaped like
+// the paper's figures.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app/app_spec.hpp"
+#include "load/load_model.hpp"
+#include "platform/cluster.hpp"
+#include "strategy/strategy.hpp"
+
+namespace simsweep::core {
+
+struct ExperimentConfig {
+  platform::ClusterSpec cluster;
+  app::AppSpec app;
+
+  /// Over-allocated spare processors (M) granted to SWAP and CR.
+  std::size_t spare_count = 0;
+
+  /// Pre-execution scheduler policy (the paper's default ranks by current
+  /// effective speed).
+  strategy::InitialSchedule initial_schedule =
+      strategy::InitialSchedule::kFastestEffective;
+
+  /// Root seed; platform speeds, load sources and any strategy randomness
+  /// all derive from it.
+  std::uint64_t seed = 1;
+
+  /// Safety cap on simulated time; runs that exceed it are reported
+  /// unfinished with makespan == horizon.
+  double horizon_s = 120.0 * 24.0 * 3600.0;
+};
+
+/// One simulated run of `strategy` under `model`.  Fully deterministic in
+/// (config, model parameters, strategy).
+[[nodiscard]] strategy::RunResult run_single(const ExperimentConfig& config,
+                                             const load::LoadModel& model,
+                                             strategy::Strategy& strategy);
+
+/// Summary over repeated trials (seeds config.seed, config.seed+1, ...).
+struct TrialStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t trials = 0;
+  std::size_t unfinished = 0;
+  double mean_adaptations = 0.0;
+};
+
+[[nodiscard]] TrialStats run_trials(ExperimentConfig config,
+                                    const load::LoadModel& model,
+                                    strategy::Strategy& strategy,
+                                    std::size_t trials);
+
+/// A figure-shaped result: one x axis, one y series per strategy.
+struct SeriesReport {
+  std::string title;
+  std::string x_label;
+  std::vector<double> x;
+  struct Series {
+    std::string name;
+    std::vector<double> y;             ///< mean makespan per x point
+    std::vector<double> adaptations;   ///< mean adaptation count per x point
+  };
+  std::vector<Series> series;
+
+  /// Aligned human-readable table.
+  void print_table(std::ostream& os) const;
+
+  /// Machine-readable CSV block (x, then one column per series).
+  void print_csv(std::ostream& os) const;
+};
+
+}  // namespace simsweep::core

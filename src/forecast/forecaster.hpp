@@ -1,0 +1,61 @@
+// Time-series forecasting for resource performance — the NWS-style
+// predictor family the paper's runtime relies on (§2 cites the Network
+// Weather Service; §4.1's "amount of performance history" is one point in
+// this design space).
+//
+// A Forecaster consumes (time, value) observations of one series (a host's
+// availability, a process's flop rate) and predicts its near-future value.
+// The AdaptiveForecaster reproduces NWS's key idea: run several simple
+// predictors side by side and answer with whichever has the lowest
+// accumulated error so far.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace simsweep::forecast {
+
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+
+  /// Feeds one observation.  Times must be non-decreasing.
+  virtual void observe(double t, double value) = 0;
+
+  /// Predicted value for the near future.  `fallback` is returned before
+  /// any observation.
+  [[nodiscard]] virtual double predict(double fallback = 0.0) const = 0;
+
+  /// Deep copy (forecasters are cheap value-like objects).
+  [[nodiscard]] virtual std::unique_ptr<Forecaster> clone() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Predicts the last observed value (the greedy policy's "no history").
+[[nodiscard]] std::unique_ptr<Forecaster> make_last_value();
+
+/// Time-weighted mean over a trailing window of `window_s` seconds (the
+/// paper's history parameter).
+[[nodiscard]] std::unique_ptr<Forecaster> make_windowed_mean(double window_s);
+
+/// Exponentially weighted moving average with time constant `tau_s`: an
+/// observation `tau_s` in the past carries weight 1/e.  Irregular sampling
+/// is handled by decaying with the actual elapsed time.
+[[nodiscard]] std::unique_ptr<Forecaster> make_ewma(double tau_s);
+
+/// Median of the last `k` observations; robust to spikes.
+[[nodiscard]] std::unique_ptr<Forecaster> make_sliding_median(std::size_t k);
+
+/// NWS-style adaptive ensemble: tracks the mean absolute prediction error
+/// of each candidate and predicts with the current best.
+[[nodiscard]] std::unique_ptr<Forecaster> make_adaptive(
+    std::vector<std::unique_ptr<Forecaster>> candidates);
+
+/// The default NWS-like ensemble: last-value, 60 s and 300 s means,
+/// EWMA(120 s), median-of-5.
+[[nodiscard]] std::unique_ptr<Forecaster> make_default_ensemble();
+
+}  // namespace simsweep::forecast

@@ -1,0 +1,20 @@
+#include "load/load_model.hpp"
+
+#include "platform/cluster.hpp"
+
+namespace simsweep::load {
+
+std::vector<std::unique_ptr<LoadSource>> LoadModel::attach_all(
+    const LoadModel& model, sim::Simulator& simulator,
+    platform::Cluster& cluster, std::uint64_t root_seed) {
+  std::vector<std::unique_ptr<LoadSource>> sources;
+  sources.reserve(cluster.size());
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    auto source = model.make_source(sim::Rng(root_seed, i));
+    source->start(simulator, cluster.host(static_cast<platform::HostId>(i)));
+    sources.push_back(std::move(source));
+  }
+  return sources;
+}
+
+}  // namespace simsweep::load

@@ -1,0 +1,175 @@
+#include "load/misc_models.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace simsweep::load {
+
+// ---------------------------------------------------------------- Constant
+
+namespace {
+
+class ConstantSource final : public LoadSource {
+ public:
+  explicit ConstantSource(int competitors) : competitors_(competitors) {}
+  void start(sim::Simulator&, platform::Host& host) override {
+    host.set_external_load(competitors_);
+  }
+
+ private:
+  int competitors_;
+};
+
+}  // namespace
+
+ConstantModel::ConstantModel(int competitors) : competitors_(competitors) {
+  if (competitors < 0)
+    throw std::invalid_argument("ConstantModel: negative competitor count");
+}
+
+std::unique_ptr<LoadSource> ConstantModel::make_source(sim::Rng) const {
+  return std::make_unique<ConstantSource>(competitors_);
+}
+
+// ------------------------------------------------------------------- Trace
+
+namespace {
+
+class TraceSource final : public LoadSource {
+ public:
+  TraceSource(const std::vector<sim::Sample>* trace, double period,
+              double phase)
+      : trace_(trace), period_(period), phase_(phase) {}
+
+  void start(sim::Simulator& simulator, platform::Host& host) override {
+    simulator_ = &simulator;
+    host_ = &host;
+    // Position the cursor at the first sample at or after the phase; the
+    // value in effect at the phase is that of the preceding sample.
+    index_ = 0;
+    while (index_ < trace_->size() && (*trace_)[index_].time <= phase_) ++index_;
+    const double initial =
+        index_ == 0 ? trace_->back().value : (*trace_)[index_ - 1].value;
+    host_->set_external_load(static_cast<int>(std::lround(initial)));
+    offset_ = simulator.now() - phase_;  // trace time + offset == sim time
+    schedule_next();
+  }
+
+ private:
+  void schedule_next() {
+    if (index_ >= trace_->size()) {  // wrap to the next period
+      index_ = 0;
+      offset_ += period_;
+    }
+    const sim::Sample& s = (*trace_)[index_];
+    const double when = s.time + offset_;
+    simulator_->after(std::max(0.0, when - simulator_->now()), [this, s] {
+      host_->set_external_load(static_cast<int>(std::lround(s.value)));
+      ++index_;
+      schedule_next();
+    });
+  }
+
+  const std::vector<sim::Sample>* trace_;
+  double period_;
+  double phase_;
+  double offset_ = 0.0;
+  std::size_t index_ = 0;
+  sim::Simulator* simulator_ = nullptr;
+  platform::Host* host_ = nullptr;
+};
+
+}  // namespace
+
+TraceModel::TraceModel(std::vector<sim::Sample> trace, double period_s,
+                       bool random_phase)
+    : trace_(std::move(trace)), period_(period_s), random_phase_(random_phase) {
+  if (trace_.empty()) throw std::invalid_argument("TraceModel: empty trace");
+  if (!std::is_sorted(trace_.begin(), trace_.end(),
+                      [](const sim::Sample& a, const sim::Sample& b) {
+                        return a.time < b.time;
+                      }))
+    throw std::invalid_argument("TraceModel: trace must be time-sorted");
+  if (trace_.front().time < 0.0)
+    throw std::invalid_argument("TraceModel: negative sample time");
+  if (period_ < trace_.back().time || period_ <= 0.0)
+    throw std::invalid_argument("TraceModel: period must cover the trace");
+}
+
+std::unique_ptr<LoadSource> TraceModel::make_source(sim::Rng rng) const {
+  const double phase = random_phase_ ? rng.uniform(0.0, period_) : 0.0;
+  return std::make_unique<TraceSource>(&trace_, period_, phase);
+}
+
+// --------------------------------------------------------------- Composite
+
+namespace {
+
+class CompositeOnOffSource final : public LoadSource {
+ public:
+  CompositeOnOffSource(const std::vector<OnOffParams>& params, sim::Rng rng) {
+    parts_.reserve(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i)
+      parts_.push_back(Part{params[i], rng.split(i), false});
+  }
+
+  void start(sim::Simulator& simulator, platform::Host& host) override {
+    simulator_ = &simulator;
+    host_ = &host;
+    int on_count = 0;
+    for (Part& part : parts_) {
+      const OnOffParams& p = part.params;
+      const double pi = p.p + p.q > 0.0 ? p.p / (p.p + p.q) : 0.0;
+      part.on = p.stationary_start && part.rng.bernoulli(pi);
+      if (part.on) ++on_count;
+      schedule_next(part);
+    }
+    host_->set_external_load(on_count);
+  }
+
+ private:
+  struct Part {
+    OnOffParams params;
+    sim::Rng rng;
+    bool on;
+  };
+
+  void schedule_next(Part& part) {
+    const double exit_p = part.on ? part.params.q : part.params.p;
+    const double sojourn =
+        sample_geometric_sojourn(part.rng, exit_p, part.params.step_s);
+    if (sojourn == sim::kTimeInfinity) return;
+    simulator_->after(sojourn, [this, &part] {
+      part.on = !part.on;
+      int on_count = 0;
+      for (const Part& q : parts_)
+        if (q.on) ++on_count;
+      host_->set_external_load(on_count);
+      schedule_next(part);
+    });
+  }
+
+  std::vector<Part> parts_;
+  sim::Simulator* simulator_ = nullptr;
+  platform::Host* host_ = nullptr;
+};
+
+}  // namespace
+
+CompositeOnOffModel::CompositeOnOffModel(std::vector<OnOffParams> sources)
+    : sources_(std::move(sources)) {
+  if (sources_.empty())
+    throw std::invalid_argument("CompositeOnOffModel: no sources");
+  for (const OnOffParams& p : sources_) {
+    const OnOffModel validator{p};  // reuse the ON/OFF parameter validation
+    (void)validator;
+  }
+}
+
+std::unique_ptr<LoadSource> CompositeOnOffModel::make_source(
+    sim::Rng rng) const {
+  return std::make_unique<CompositeOnOffSource>(sources_, rng);
+}
+
+}  // namespace simsweep::load

@@ -1,0 +1,59 @@
+#include "load/reclamation.hpp"
+
+#include <stdexcept>
+
+namespace simsweep::load {
+
+namespace {
+
+class ReclamationSource final : public LoadSource {
+ public:
+  ReclamationSource(std::unique_ptr<LoadSource> base,
+                    const ReclamationParams& params, sim::Rng rng)
+      : base_(std::move(base)), params_(params), rng_(rng) {}
+
+  void start(sim::Simulator& simulator, platform::Host& host) override {
+    simulator_ = &simulator;
+    host_ = &host;
+    if (base_) base_->start(simulator, host);
+    available_ = params_.start_available;
+    host_->set_online(available_);
+    schedule_toggle();
+  }
+
+ private:
+  void schedule_toggle() {
+    const double mean =
+        available_ ? params_.mean_available_s : params_.mean_reclaimed_s;
+    simulator_->after(rng_.exponential_mean(mean), [this] {
+      available_ = !available_;
+      host_->set_online(available_);
+      schedule_toggle();
+    });
+  }
+
+  std::unique_ptr<LoadSource> base_;
+  ReclamationParams params_;
+  sim::Rng rng_;
+  sim::Simulator* simulator_ = nullptr;
+  platform::Host* host_ = nullptr;
+  bool available_ = true;
+};
+
+}  // namespace
+
+ReclamationModel::ReclamationModel(std::shared_ptr<const LoadModel> base,
+                                   ReclamationParams params)
+    : base_(std::move(base)), params_(params) {
+  if (params.mean_available_s <= 0.0 || params.mean_reclaimed_s <= 0.0)
+    throw std::invalid_argument(
+        "ReclamationModel: phase durations must be positive");
+}
+
+std::unique_ptr<LoadSource> ReclamationModel::make_source(sim::Rng rng) const {
+  auto base_source = base_ ? base_->make_source(rng.split(1)) : nullptr;
+  return std::make_unique<ReclamationSource>(std::move(base_source), params_,
+                                             rng.split(2));
+}
+
+}  // namespace simsweep::load

@@ -1,0 +1,81 @@
+#include "load/trace_io.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace simsweep::load {
+
+namespace {
+
+bool parse_double(const std::string& text, double& out) {
+  char* end = nullptr;
+  out = std::strtod(text.c_str(), &end);
+  return end != text.c_str() && *end == '\0';
+}
+
+}  // namespace
+
+std::vector<sim::Sample> read_trace_csv(std::istream& in) {
+  std::vector<sim::Sample> trace;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip trailing carriage returns from Windows-authored files.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const auto comma = line.find(',');
+    if (comma == std::string::npos)
+      throw std::invalid_argument("trace csv line " + std::to_string(line_no) +
+                                  ": expected 'time,load'");
+    const std::string time_text = line.substr(0, comma);
+    const std::string load_text = line.substr(comma + 1);
+    double t = 0.0, v = 0.0;
+    if (!parse_double(time_text, t)) {
+      // A non-numeric *time* on the first line is a header; anywhere else
+      // it is an error.
+      if (line_no == 1) continue;
+      throw std::invalid_argument("trace csv line " + std::to_string(line_no) +
+                                  ": non-numeric time");
+    }
+    if (!parse_double(load_text, v))
+      throw std::invalid_argument("trace csv line " + std::to_string(line_no) +
+                                  ": non-numeric load");
+    if (!trace.empty() && t < trace.back().time)
+      throw std::invalid_argument("trace csv line " + std::to_string(line_no) +
+                                  ": time went backwards");
+    if (v < 0.0)
+      throw std::invalid_argument("trace csv line " + std::to_string(line_no) +
+                                  ": negative load");
+    // Collapse repeated timestamps (step-edge output style) to the last
+    // value seen at that instant.
+    if (!trace.empty() && t == trace.back().time) {
+      trace.back().value = v;
+    } else {
+      trace.push_back(sim::Sample{t, v});
+    }
+  }
+  if (trace.empty())
+    throw std::invalid_argument("trace csv: no samples");
+  return trace;
+}
+
+std::vector<sim::Sample> read_trace_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot open trace file: " + path);
+  return read_trace_csv(file);
+}
+
+void write_trace_csv(std::ostream& out,
+                     const std::vector<sim::Sample>& trace) {
+  out << "time,cpu_load\n";
+  std::ostringstream buffer;
+  buffer.precision(10);
+  for (const sim::Sample& s : trace)
+    buffer << s.time << ',' << s.value << '\n';
+  out << buffer.str();
+}
+
+}  // namespace simsweep::load

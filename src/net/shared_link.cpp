@@ -1,0 +1,92 @@
+#include "net/shared_link.hpp"
+
+#include <stdexcept>
+
+namespace simsweep::net {
+
+void Flow::cancel() {
+  if (!active_) return;
+  active_ = false;
+  event_.cancel();
+  if (net_ != nullptr && !in_latency_) net_->remove_flow(this);
+  if (net_ != nullptr && !in_latency_) net_->reshare();
+  net_ = nullptr;
+}
+
+SharedLinkNetwork::SharedLinkNetwork(sim::Simulator& simulator,
+                                     platform::LinkSpec link)
+    : simulator_(simulator), link_(link) {
+  if (link.bandwidth_Bps <= 0.0)
+    throw std::invalid_argument("SharedLinkNetwork: bandwidth must be positive");
+  if (link.latency_s < 0.0)
+    throw std::invalid_argument("SharedLinkNetwork: negative latency");
+}
+
+std::shared_ptr<Flow> SharedLinkNetwork::start_transfer(double bytes,
+                                                        Flow::Completion done) {
+  if (bytes < 0.0)
+    throw std::invalid_argument("SharedLinkNetwork: negative payload");
+  auto flow = std::shared_ptr<Flow>(new Flow(*this, bytes, std::move(done)));
+  std::weak_ptr<Flow> weak = flow;
+  flow->event_ = simulator_.after(link_.latency_s, [this, weak] {
+    if (auto f = weak.lock(); f && f->active()) admit(f);
+  });
+  return flow;
+}
+
+void SharedLinkNetwork::admit(const std::shared_ptr<Flow>& flow) {
+  flow->in_latency_ = false;
+  flow->last_update_ = simulator_.now();
+  if (flow->remaining_ <= 0.0) {
+    // Latency-only message: complete immediately after alpha.
+    flow->active_ = false;
+    flow->net_ = nullptr;
+    if (flow->done_) flow->done_();
+    return;
+  }
+  flows_.push_back(flow);
+  reshare();
+}
+
+void SharedLinkNetwork::reshare() {
+  const SimTime now = simulator_.now();
+  const double rate =
+      flows_.empty() ? 0.0
+                     : link_.bandwidth_Bps / static_cast<double>(flows_.size());
+  std::vector<std::shared_ptr<Flow>> snapshot = flows_;
+  for (auto& flow : snapshot) {
+    if (!flow->active()) continue;
+    flow->remaining_ -= flow->rate_ * (now - flow->last_update_);
+    if (flow->remaining_ < 0.0) flow->remaining_ = 0.0;
+    flow->last_update_ = now;
+    flow->rate_ = rate;
+    flow->event_.cancel();
+    schedule_completion(flow);
+  }
+}
+
+void SharedLinkNetwork::schedule_completion(const std::shared_ptr<Flow>& flow) {
+  if (flow->rate_ <= 0.0) return;
+  const SimDuration eta = flow->remaining_ / flow->rate_;
+  std::weak_ptr<Flow> weak = flow;
+  flow->event_ = simulator_.after(eta, [this, weak] {
+    if (auto f = weak.lock(); f && f->active()) finish(f);
+  });
+}
+
+void SharedLinkNetwork::finish(const std::shared_ptr<Flow>& flow) {
+  flow->remaining_ = 0.0;
+  flow->active_ = false;
+  flow->net_ = nullptr;
+  remove_flow(flow.get());
+  reshare();
+  if (flow->done_) flow->done_();
+}
+
+void SharedLinkNetwork::remove_flow(const Flow* flow) {
+  std::erase_if(flows_, [flow](const std::shared_ptr<Flow>& f) {
+    return f.get() == flow;
+  });
+}
+
+}  // namespace simsweep::net

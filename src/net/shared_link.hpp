@@ -1,0 +1,92 @@
+// Flow-level model of a single shared communication link.
+//
+// The paper models its 100baseT LAN as one shared link with latency alpha
+// and bandwidth beta: messages compete for a fixed amount of bandwidth and
+// collisions delay transmission.  We implement the classic fluid
+// approximation — the n concurrently active flows each progress at beta/n —
+// and each message additionally pays the latency alpha up front (during
+// which it does not consume bandwidth).  Rates are re-shared whenever a flow
+// joins or leaves.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "platform/cluster.hpp"
+#include "simcore/simulator.hpp"
+
+namespace simsweep::net {
+
+using sim::SimDuration;
+using sim::SimTime;
+
+class SharedLinkNetwork;
+
+/// One in-flight message.
+class Flow {
+ public:
+  using Completion = std::function<void()>;
+
+  /// Bytes still to transfer as of the last re-share.
+  [[nodiscard]] double remaining_bytes() const noexcept { return remaining_; }
+
+  /// True until the completion callback fires or cancel() is called.
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+  /// Abandons the transfer; the completion callback will not fire.
+  void cancel();
+
+ private:
+  friend class SharedLinkNetwork;
+  Flow(SharedLinkNetwork& net, double bytes, Completion done)
+      : net_(&net), remaining_(bytes), done_(std::move(done)) {}
+
+  SharedLinkNetwork* net_;
+  double remaining_;
+  Completion done_;
+  SimTime last_update_ = 0.0;
+  double rate_ = 0.0;  // bytes/s granted at last re-share
+  bool in_latency_ = true;
+  sim::EventHandle event_;
+  bool active_ = true;
+};
+
+class SharedLinkNetwork {
+ public:
+  SharedLinkNetwork(sim::Simulator& simulator, platform::LinkSpec link);
+
+  SharedLinkNetwork(const SharedLinkNetwork&) = delete;
+  SharedLinkNetwork& operator=(const SharedLinkNetwork&) = delete;
+
+  /// Starts transferring `bytes`; `done` fires when the last byte lands.
+  /// Zero-byte messages still pay the latency.
+  std::shared_ptr<Flow> start_transfer(double bytes, Flow::Completion done);
+
+  /// Number of flows currently consuming bandwidth (excludes flows still in
+  /// their latency phase).
+  [[nodiscard]] std::size_t active_flows() const noexcept {
+    return flows_.size();
+  }
+
+  [[nodiscard]] const platform::LinkSpec& link() const noexcept { return link_; }
+
+  /// Transfer time of `bytes` on an otherwise idle link.
+  [[nodiscard]] double uncontended_time(double bytes) const noexcept {
+    return link_.latency_s + bytes / link_.bandwidth_Bps;
+  }
+
+ private:
+  friend class Flow;
+  void admit(const std::shared_ptr<Flow>& flow);
+  void reshare();
+  void schedule_completion(const std::shared_ptr<Flow>& flow);
+  void finish(const std::shared_ptr<Flow>& flow);
+  void remove_flow(const Flow* flow);
+
+  sim::Simulator& simulator_;
+  platform::LinkSpec link_;
+  std::vector<std::shared_ptr<Flow>> flows_;  // bandwidth-consuming flows
+};
+
+}  // namespace simsweep::net

@@ -1,0 +1,49 @@
+#include "platform/cluster.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace simsweep::platform {
+
+Cluster::Cluster(sim::Simulator& simulator, const ClusterSpec& spec,
+                 sim::Rng& rng)
+    : simulator_(simulator), spec_(spec) {
+  if (!spec.explicit_speeds.empty() &&
+      spec.explicit_speeds.size() != spec.host_count)
+    throw std::invalid_argument(
+        "Cluster: explicit_speeds size must match host_count");
+  if (spec.host_count == 0)
+    throw std::invalid_argument("Cluster: host_count must be positive");
+  if (spec.min_speed_flops <= 0.0 || spec.max_speed_flops < spec.min_speed_flops)
+    throw std::invalid_argument("Cluster: invalid speed range");
+
+  hosts_.reserve(spec.host_count);
+  for (std::size_t i = 0; i < spec.host_count; ++i) {
+    const double speed =
+        spec.explicit_speeds.empty()
+            ? rng.uniform(spec.min_speed_flops, spec.max_speed_flops)
+            : spec.explicit_speeds[i];
+    hosts_.push_back(std::make_unique<Host>(
+        simulator_, static_cast<HostId>(i), speed, "host" + std::to_string(i)));
+  }
+}
+
+std::vector<HostId> Cluster::by_effective_speed() const {
+  std::vector<HostId> ids(hosts_.size());
+  std::iota(ids.begin(), ids.end(), HostId{0});
+  std::stable_sort(ids.begin(), ids.end(), [this](HostId a, HostId b) {
+    return hosts_[a]->effective_speed() > hosts_[b]->effective_speed();
+  });
+  return ids;
+}
+
+std::vector<HostId> Cluster::by_peak_speed() const {
+  std::vector<HostId> ids(hosts_.size());
+  std::iota(ids.begin(), ids.end(), HostId{0});
+  std::stable_sort(ids.begin(), ids.end(), [this](HostId a, HostId b) {
+    return hosts_[a]->peak_speed() > hosts_[b]->peak_speed();
+  });
+  return ids;
+}
+
+}  // namespace simsweep::platform

@@ -1,0 +1,142 @@
+#include "platform/host.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace simsweep::platform {
+
+void ComputeTask::cancel() {
+  if (!active_) return;
+  active_ = false;
+  completion_event_.cancel();
+  if (host_ != nullptr) host_->remove_task(this);
+  host_ = nullptr;
+}
+
+Host::Host(sim::Simulator& simulator, HostId id, double peak_speed_flops,
+           std::string name)
+    : simulator_(simulator),
+      id_(id),
+      peak_speed_(peak_speed_flops),
+      name_(std::move(name)) {
+  if (peak_speed_flops <= 0.0)
+    throw std::invalid_argument("Host: peak speed must be positive");
+  load_history_.push_back(sim::Sample{simulator_.now(), 0.0});
+}
+
+void Host::set_external_load(int competitors) {
+  if (competitors < 0)
+    throw std::invalid_argument("Host: negative competing-process count");
+  if (competitors == external_load_) return;
+  external_load_ = competitors;
+  if (online_) record_state();
+  replan();
+}
+
+void Host::set_online(bool online) {
+  if (online == online_) return;
+  online_ = online;
+  record_state();
+  replan();
+}
+
+void Host::record_state() {
+  load_history_.push_back(sim::Sample{
+      simulator_.now(),
+      online_ ? static_cast<double>(external_load_) : kOfflineMarker});
+  if (trace_ != nullptr)
+    trace_->record("avail." + name_, simulator_.now(), availability());
+}
+
+std::shared_ptr<ComputeTask> Host::start_compute(double work,
+                                                 ComputeTask::Completion done) {
+  if (work < 0.0) throw std::invalid_argument("Host: negative work");
+  auto task = std::shared_ptr<ComputeTask>(
+      new ComputeTask(*this, work, std::move(done)));
+  task->last_update_ = simulator_.now();
+  tasks_.push_back(task);
+  replan();  // adding a task changes every task's share
+  return task;
+}
+
+void Host::attach_trace(sim::TraceRecorder* recorder) {
+  trace_ = recorder;
+  if (trace_ != nullptr)
+    trace_->record("avail." + name_, simulator_.now(), availability());
+}
+
+double Host::mean_availability(SimTime t0, SimTime t1) const {
+  // load_history_ is a step series of competing-process counts; convert the
+  // time-averaged count into availability segment by segment.
+  if (t1 < t0) throw std::invalid_argument("mean_availability: t1 < t0");
+  if (sim::time_close(t0, t1)) return availability();
+  double area = 0.0;
+  double value = 0.0;
+  SimTime cursor = t0;
+  for (const sim::Sample& s : load_history_) {
+    if (s.time <= t0) {
+      value = s.value;
+      continue;
+    }
+    if (s.time >= t1) break;
+    area += (s.time - cursor) * availability_of_sample(value);
+    cursor = s.time;
+    value = s.value;
+  }
+  area += (t1 - cursor) * availability_of_sample(value);
+  return area / (t1 - t0);
+}
+
+double Host::per_task_rate() const noexcept {
+  if (tasks_.empty() || !online_) return 0.0;
+  const double sharers =
+      static_cast<double>(external_load_) + static_cast<double>(tasks_.size());
+  return peak_speed_ / std::max(1.0, sharers);
+}
+
+void Host::accrue(ComputeTask& task, SimTime now) const {
+  task.remaining_ -= task.rate_ * (now - task.last_update_);
+  if (task.remaining_ < 0.0) task.remaining_ = 0.0;
+  task.last_update_ = now;
+}
+
+void Host::replan() {
+  const SimTime now = simulator_.now();
+  const double rate = per_task_rate();
+  // Snapshot: completions triggered below may mutate tasks_.
+  std::vector<std::shared_ptr<ComputeTask>> snapshot = tasks_;
+  for (auto& task : snapshot) {
+    if (!task->active()) continue;
+    accrue(*task, now);
+    task->rate_ = rate;
+    task->completion_event_.cancel();
+    schedule_completion(task);
+  }
+}
+
+void Host::schedule_completion(const std::shared_ptr<ComputeTask>& task) {
+  if (task->rate_ <= 0.0) return;  // stalled; re-planned on next load change
+  const SimDuration eta = task->remaining_ / task->rate_;
+  std::weak_ptr<ComputeTask> weak = task;
+  task->completion_event_ = simulator_.after(eta, [this, weak] {
+    if (auto t = weak.lock(); t && t->active()) finish(t);
+  });
+}
+
+void Host::finish(const std::shared_ptr<ComputeTask>& task) {
+  accrue(*task, simulator_.now());
+  task->active_ = false;
+  task->host_ = nullptr;
+  remove_task(task.get());
+  replan();  // remaining tasks get a bigger share
+  if (task->done_) task->done_();
+}
+
+void Host::remove_task(const ComputeTask* task) {
+  std::erase_if(tasks_, [task](const std::shared_ptr<ComputeTask>& t) {
+    return t.get() == task;
+  });
+}
+
+}  // namespace simsweep::platform

@@ -1,0 +1,163 @@
+// Simulated workstation.
+//
+// A Host has a fixed peak speed and a time-varying number of external
+// competing compute-bound processes.  The CPU is shared fairly between the
+// competitors and every application task running on the host, so each
+// application task progresses at
+//
+//     peak_speed / (external_load + running_app_tasks)        [flop/s]
+//
+// Application work is executed through ComputeTask objects: the host
+// schedules a completion event from the remaining work and the current rate,
+// and re-plans all running tasks whenever the load or the task count changes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simcore/sim_time.hpp"
+#include "simcore/simulator.hpp"
+#include "simcore/trace_recorder.hpp"
+
+namespace simsweep::platform {
+
+using sim::SimDuration;
+using sim::SimTime;
+
+class Host;
+
+/// A unit of CPU work executing on a host.  Created via Host::start_compute;
+/// destroyed (or cancelled) when complete.
+class ComputeTask {
+ public:
+  using Completion = std::function<void()>;
+
+  /// Work still to do, in flops, as of the last re-plan.
+  [[nodiscard]] double remaining_work() const noexcept { return remaining_; }
+
+  /// True until the completion callback has fired or cancel() was called.
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+  /// Abandons the task; the completion callback will not fire.
+  void cancel();
+
+ private:
+  friend class Host;
+  ComputeTask(Host& host, double work, Completion done)
+      : host_(&host), remaining_(work), done_(std::move(done)) {}
+
+  Host* host_;
+  double remaining_;
+  Completion done_;
+  SimTime last_update_ = 0.0;
+  double rate_ = 0.0;  // flop/s granted at last re-plan
+  sim::EventHandle completion_event_;
+  bool active_ = true;
+};
+
+/// Identifier of a host within its cluster.
+using HostId = std::uint32_t;
+
+class Host {
+ public:
+  Host(sim::Simulator& simulator, HostId id, double peak_speed_flops,
+       std::string name);
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  [[nodiscard]] HostId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Peak speed in flop/s with no competition.
+  [[nodiscard]] double peak_speed() const noexcept { return peak_speed_; }
+
+  /// Number of external competing compute-bound processes right now.
+  [[nodiscard]] int external_load() const noexcept { return external_load_; }
+
+  /// Fraction of peak speed an application task would receive if it were the
+  /// only app task on the host: 1 / (1 + external_load), or 0 while the
+  /// host is offline (reclaimed by its owner).
+  [[nodiscard]] double availability() const noexcept {
+    if (!online_) return 0.0;
+    return 1.0 / (1.0 + static_cast<double>(external_load_));
+  }
+
+  /// Effective speed (flop/s) a single app task would get right now.
+  [[nodiscard]] double effective_speed() const noexcept {
+    return peak_speed_ * availability();
+  }
+
+  /// Sets the external competing-process count; re-plans running tasks.
+  /// Called by load models.
+  void set_external_load(int competitors);
+
+  /// Marks the host reclaimed by its owner (offline) or available again.
+  /// While offline the host contributes no cycles: availability() is 0 and
+  /// running tasks stall until the host returns.  Orthogonal to the
+  /// competing-process count, which is preserved across the outage.
+  void set_online(bool online);
+
+  [[nodiscard]] bool online() const noexcept { return online_; }
+
+  /// Starts `work` flops of application work; `done` fires at completion.
+  /// The returned task stays valid until completion or cancellation.
+  std::shared_ptr<ComputeTask> start_compute(double work,
+                                             ComputeTask::Completion done);
+
+  /// Number of application tasks currently running here.
+  [[nodiscard]] std::size_t running_tasks() const noexcept {
+    return tasks_.size();
+  }
+
+  /// Optional availability trace: when a recorder is attached the host logs
+  /// availability() on every load change under series "avail.<name>".
+  void attach_trace(sim::TraceRecorder* recorder);
+
+  /// Recorded load history since construction: sample values are the
+  /// competing-process count while online and kOfflineMarker (-1) while the
+  /// host is reclaimed.  Used by performance-history estimators.
+  [[nodiscard]] const std::vector<sim::Sample>& load_history() const noexcept {
+    return load_history_;
+  }
+
+  /// Sentinel value in load_history() marking an offline interval.
+  static constexpr double kOfflineMarker = -1.0;
+
+  /// Availability implied by one load_history() sample value.
+  [[nodiscard]] static double availability_of_sample(double value) noexcept {
+    return value < 0.0 ? 0.0 : 1.0 / (1.0 + value);
+  }
+
+  /// Mean availability over [t0, t1] from the recorded history.
+  [[nodiscard]] double mean_availability(SimTime t0, SimTime t1) const;
+
+ private:
+  friend class ComputeTask;
+
+  /// Progress accrual + completion-event rebuild for all running tasks.
+  void replan();
+  void record_state();
+  void accrue(ComputeTask& task, SimTime now) const;
+  void schedule_completion(const std::shared_ptr<ComputeTask>& task);
+  void finish(const std::shared_ptr<ComputeTask>& task);
+  void remove_task(const ComputeTask* task);
+
+  /// Rate currently granted to each app task.
+  [[nodiscard]] double per_task_rate() const noexcept;
+
+  sim::Simulator& simulator_;
+  HostId id_;
+  double peak_speed_;
+  std::string name_;
+  int external_load_ = 0;
+  bool online_ = true;
+  std::vector<std::shared_ptr<ComputeTask>> tasks_;
+  std::vector<sim::Sample> load_history_;
+  sim::TraceRecorder* trace_ = nullptr;
+};
+
+}  // namespace simsweep::platform

@@ -1,0 +1,104 @@
+// Pending-event set for the discrete-event engine.
+//
+// A binary heap ordered by (time, sequence number): ties in simulated time
+// are broken by insertion order, which makes event processing fully
+// deterministic.  Cancellation is lazy — a cancelled entry stays in the heap
+// until it bubbles to the top — keeping push/pop at O(log n) with no
+// auxiliary index structure.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "simcore/sim_time.hpp"
+
+namespace simsweep::sim {
+
+/// Handle to a scheduled event; lets the scheduler cancel it later.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired yet.  Safe to call repeatedly and
+  /// on default-constructed handles.
+  void cancel() {
+    if (auto p = flag_.lock()) *p = true;
+  }
+
+  /// True when this handle refers to an event that is still pending
+  /// (scheduled, not yet fired, not cancelled).
+  [[nodiscard]] bool pending() const {
+    auto p = flag_.lock();
+    return p != nullptr && !*p;
+  }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::weak_ptr<bool> flag) : flag_(std::move(flag)) {}
+  std::weak_ptr<bool> flag_;
+};
+
+/// Min-heap of (time, seq, callback) with lazy cancellation.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` at absolute simulated time `at`.
+  EventHandle schedule(SimTime at, Callback cb) {
+    auto cancelled = std::make_shared<bool>(false);
+    heap_.push(Entry{at, next_seq_++, std::move(cb), cancelled});
+    return EventHandle(cancelled);
+  }
+
+  /// True when no live (non-cancelled) event remains.  Lazily purges
+  /// cancelled entries from the top of the heap.
+  [[nodiscard]] bool empty() {
+    drop_cancelled();
+    return heap_.empty();
+  }
+
+  /// Upper bound on the number of live events (cancelled entries buried in
+  /// the heap are still counted until they surface).  Diagnostic only.
+  [[nodiscard]] std::size_t size_bound() const { return heap_.size(); }
+
+  /// Time of the earliest live event; kTimeInfinity when empty.
+  [[nodiscard]] SimTime next_time() {
+    drop_cancelled();
+    return heap_.empty() ? kTimeInfinity : heap_.top().time;
+  }
+
+  /// Removes and returns the earliest live event.  Precondition: !empty().
+  [[nodiscard]] std::pair<SimTime, Callback> pop() {
+    drop_cancelled();
+    Entry top = heap_.top();
+    heap_.pop();
+    *top.cancelled = true;  // fired events report pending() == false
+    return {top.time, std::move(top.callback)};
+  }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    Callback callback;
+    std::shared_ptr<bool> cancelled;
+
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  void drop_cancelled() {
+    while (!heap_.empty() && *heap_.top().cancelled) heap_.pop();
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace simsweep::sim

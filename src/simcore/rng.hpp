@@ -1,0 +1,67 @@
+// Deterministic random-number generation for simulations.
+//
+// Every stochastic model in the simulator draws from an Rng that is seeded
+// explicitly, so a (seed, stream) pair fully determines an experiment.
+// Streams let independent model components (e.g. the load source of each
+// host) consume randomness without perturbing one another when the platform
+// size changes.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace simsweep::sim {
+
+/// Derives a child seed from a root seed and a stream index using
+/// SplitMix64, the standard seed-sequence scrambler.  Distinct streams of
+/// the same root seed are statistically independent for our purposes.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t root,
+                                                  std::uint64_t stream) noexcept {
+  std::uint64_t z = root + 0x9E3779B97F4A7C15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic random source.  Thin wrapper over std::mt19937_64 exposing
+/// only the distributions the models need; copyable so tests can snapshot
+/// generator state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+  Rng(std::uint64_t root, std::uint64_t stream) : engine_(derive_seed(root, stream)) {}
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [0, 1).
+  [[nodiscard]] double uniform01() { return uniform(0.0, 1.0); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Exponential with the given mean (not rate).
+  [[nodiscard]] double exponential_mean(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Bernoulli trial.
+  [[nodiscard]] bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Raw 64-bit draw, for hashing/splitting.
+  [[nodiscard]] std::uint64_t next_u64() { return engine_(); }
+
+  /// Spawn an independent child generator.
+  [[nodiscard]] Rng split(std::uint64_t stream) { return Rng(engine_(), stream); }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace simsweep::sim

@@ -1,0 +1,39 @@
+// Virtual time for the discrete-event simulation core.
+//
+// Simulated time is a double measured in seconds since the start of the
+// simulation.  A thin strong-ish vocabulary layer keeps call sites readable
+// and provides the comparison tolerance used throughout the engine.
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+namespace simsweep::sim {
+
+/// Simulated seconds since simulation start.
+using SimTime = double;
+
+/// Durations share the representation of SimTime (seconds).
+using SimDuration = double;
+
+/// Sentinel for "never" / "no deadline".
+inline constexpr SimTime kTimeInfinity = std::numeric_limits<double>::infinity();
+
+/// Absolute tolerance used when comparing simulated times.  Experiments run
+/// for at most a few million simulated seconds, so 1 ns of virtual time is
+/// far below anything the models can distinguish.
+inline constexpr SimTime kTimeEpsilon = 1e-9;
+
+/// True when two simulated times are indistinguishable.
+[[nodiscard]] inline bool time_close(SimTime a, SimTime b) noexcept {
+  if (std::isinf(a) || std::isinf(b)) return a == b;
+  return std::fabs(a - b) <= kTimeEpsilon;
+}
+
+/// Seconds-per-unit helpers; keep magic numbers out of model code.
+inline constexpr SimDuration kMillisecond = 1e-3;
+inline constexpr SimDuration kSecond = 1.0;
+inline constexpr SimDuration kMinute = 60.0;
+inline constexpr SimDuration kHour = 3600.0;
+
+}  // namespace simsweep::sim

@@ -1,0 +1,75 @@
+// Discrete-event simulation driver.
+//
+// The Simulator owns virtual time and the pending-event set.  Model code
+// schedules callbacks at absolute or relative times; run() processes events
+// in deterministic (time, insertion) order until the queue drains, a time
+// horizon is reached, or a model calls stop().
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+
+#include "simcore/event_queue.hpp"
+#include "simcore/sim_time.hpp"
+
+namespace simsweep::sim {
+
+class Simulator {
+ public:
+  using Callback = EventQueue::Callback;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Number of events fired so far.
+  [[nodiscard]] std::uint64_t events_fired() const noexcept { return fired_; }
+
+  /// Schedules `cb` at absolute time `at` (must not be in the past).
+  EventHandle at(SimTime at, Callback cb) {
+    if (at < now_ - kTimeEpsilon)
+      throw std::invalid_argument("Simulator::at: scheduling in the past");
+    return queue_.schedule(at < now_ ? now_ : at, std::move(cb));
+  }
+
+  /// Schedules `cb` after `delay` seconds of simulated time.
+  EventHandle after(SimDuration delay, Callback cb) {
+    if (delay < 0.0)
+      throw std::invalid_argument("Simulator::after: negative delay");
+    return queue_.schedule(now_ + delay, std::move(cb));
+  }
+
+  /// Runs until the event queue drains or stop() is called.
+  void run() { run_until(kTimeInfinity); }
+
+  /// Runs until `horizon` (events at exactly the horizon still fire).
+  /// Advances now() to the horizon when it is finite and the queue drained
+  /// earlier, so time-based observers see a consistent clock.
+  void run_until(SimTime horizon) {
+    stopped_ = false;
+    while (!stopped_ && !queue_.empty() && queue_.next_time() <= horizon) {
+      auto [t, cb] = queue_.pop();
+      now_ = t;
+      ++fired_;
+      cb();
+    }
+    if (!stopped_ && horizon != kTimeInfinity && now_ < horizon) now_ = horizon;
+  }
+
+  /// Requests that the run loop exit after the current event returns.
+  void stop() noexcept { stopped_ = true; }
+
+  /// True when stop() ended the previous run.
+  [[nodiscard]] bool stopped() const noexcept { return stopped_; }
+
+  /// Live-event check (lazily purges cancelled entries).
+  [[nodiscard]] bool idle() { return queue_.empty(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t fired_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace simsweep::sim

@@ -1,0 +1,73 @@
+// Time-series capture for simulations.
+//
+// Models append (time, value) samples under a named series; experiment
+// drivers and the figure benches read the series back or dump them as CSV.
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "simcore/sim_time.hpp"
+
+namespace simsweep::sim {
+
+/// One sampled point of a series.
+struct Sample {
+  SimTime time;
+  double value;
+  friend bool operator==(const Sample&, const Sample&) = default;
+};
+
+/// Named collection of time series.
+class TraceRecorder {
+ public:
+  /// Appends a sample to `series` at time `t`.
+  void record(std::string_view series, SimTime t, double value) {
+    series_[std::string(series)].push_back(Sample{t, value});
+  }
+
+  /// Read access to one series; empty vector when the name is unknown.
+  [[nodiscard]] const std::vector<Sample>& series(std::string_view name) const {
+    static const std::vector<Sample> kEmpty;
+    auto it = series_.find(std::string(name));
+    return it == series_.end() ? kEmpty : it->second;
+  }
+
+  /// Names of all recorded series, sorted.
+  [[nodiscard]] std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(series_.size());
+    for (const auto& [name, _] : series_) out.push_back(name);
+    return out;
+  }
+
+  [[nodiscard]] bool empty() const { return series_.empty(); }
+
+  void clear() { series_.clear(); }
+
+  /// Writes `time,value` rows for one series in CSV form with a header.
+  void write_csv(std::ostream& os, std::string_view name) const {
+    os << "time," << name << '\n';
+    for (const Sample& s : series(name)) os << s.time << ',' << s.value << '\n';
+  }
+
+ private:
+  std::map<std::string, std::vector<Sample>, std::less<>> series_;
+};
+
+/// Integrates a piecewise-constant (step) series between t0 and t1.  The
+/// value of the series at time t is the value of the latest sample at or
+/// before t; before the first sample the series is `initial`.
+[[nodiscard]] double integrate_step_series(const std::vector<Sample>& samples,
+                                           SimTime t0, SimTime t1,
+                                           double initial = 0.0);
+
+/// Mean value of a step series over [t0, t1].
+[[nodiscard]] double mean_step_series(const std::vector<Sample>& samples,
+                                      SimTime t0, SimTime t1,
+                                      double initial = 0.0);
+
+}  // namespace simsweep::sim

@@ -1,0 +1,50 @@
+#include "strategy/estimator.hpp"
+
+#include <utility>
+
+#include "strategy/schedule.hpp"
+
+namespace simsweep::strategy {
+
+double WindowEstimator::estimate(const platform::Host& host,
+                                 sim::SimTime now) {
+  return estimate_speed(host, now, window_);
+}
+
+std::string WindowEstimator::name() const {
+  return "window_" + std::to_string(static_cast<int>(window_)) + "s";
+}
+
+ForecastEstimator::ForecastEstimator(Factory factory, std::string label)
+    : factory_(std::move(factory)), label_(std::move(label)) {
+  if (!factory_)
+    throw std::invalid_argument("ForecastEstimator: null factory");
+}
+
+double ForecastEstimator::estimate(const platform::Host& host,
+                                   sim::SimTime now) {
+  PerHost& state = hosts_[host.id()];
+  if (!state.forecaster) state.forecaster = factory_();
+  const auto& history = host.load_history();
+  for (; state.consumed < history.size(); ++state.consumed) {
+    const sim::Sample& s = history[state.consumed];
+    state.forecaster->observe(
+        s.time, platform::Host::availability_of_sample(s.value));
+  }
+  // The step series still holds its last value at `now`; telling the
+  // forecaster keeps window/EWMA predictors current on quiet hosts.
+  state.forecaster->observe(now, host.availability());
+  return host.peak_speed() * state.forecaster->predict(host.availability());
+}
+
+std::shared_ptr<SpeedEstimator> make_window_estimator(double window_s) {
+  return std::make_shared<WindowEstimator>(window_s);
+}
+
+std::shared_ptr<SpeedEstimator> make_forecast_estimator(
+    ForecastEstimator::Factory factory, std::string label) {
+  return std::make_shared<ForecastEstimator>(std::move(factory),
+                                             std::move(label));
+}
+
+}  // namespace simsweep::strategy

@@ -1,0 +1,85 @@
+// Pluggable host-speed prediction for the swapping strategies.
+//
+// The paper's runtime estimates each processor's near-future performance
+// from a configurable amount of history (§4.1).  WindowEstimator implements
+// exactly that semantics (flat time-weighted window over the availability
+// history; 0 = instantaneous).  ForecastEstimator plugs in any forecaster
+// from simsweep::forecast (EWMA, sliding median, the NWS-style adaptive
+// ensemble), which the abl_predictor bench compares.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "forecast/forecaster.hpp"
+#include "platform/host.hpp"
+
+namespace simsweep::strategy {
+
+class SpeedEstimator {
+ public:
+  virtual ~SpeedEstimator() = default;
+
+  /// Predicted sustained flop/s for one application process on `host`.
+  [[nodiscard]] virtual double estimate(const platform::Host& host,
+                                        sim::SimTime now) = 0;
+
+  /// A fresh, unlearned instance of the same configuration.  Strategies
+  /// call this once per launched run, so one SwapOptions value can be
+  /// reused across trials without leaking state between simulations.
+  [[nodiscard]] virtual std::shared_ptr<SpeedEstimator> fresh() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// The paper's semantics: peak speed times the mean availability over the
+/// trailing `window_s` seconds (instantaneous when 0).
+class WindowEstimator final : public SpeedEstimator {
+ public:
+  explicit WindowEstimator(double window_s) : window_(window_s) {}
+  [[nodiscard]] double estimate(const platform::Host& host,
+                                sim::SimTime now) override;
+  [[nodiscard]] std::shared_ptr<SpeedEstimator> fresh() const override {
+    return std::make_shared<WindowEstimator>(window_);
+  }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double window_;
+};
+
+/// Feeds each host's availability history into a per-host forecaster and
+/// predicts peak * forecast(availability).
+class ForecastEstimator final : public SpeedEstimator {
+ public:
+  using Factory = std::function<std::unique_ptr<forecast::Forecaster>()>;
+
+  /// `factory` builds one fresh forecaster per host; `label` names the
+  /// configuration in reports.
+  ForecastEstimator(Factory factory, std::string label);
+
+  [[nodiscard]] double estimate(const platform::Host& host,
+                                sim::SimTime now) override;
+  [[nodiscard]] std::shared_ptr<SpeedEstimator> fresh() const override {
+    return std::make_shared<ForecastEstimator>(factory_, label_);
+  }
+  [[nodiscard]] std::string name() const override { return label_; }
+
+ private:
+  struct PerHost {
+    std::unique_ptr<forecast::Forecaster> forecaster;
+    std::size_t consumed = 0;  ///< load_history samples already observed
+  };
+  Factory factory_;
+  std::string label_;
+  std::map<platform::HostId, PerHost> hosts_;
+};
+
+[[nodiscard]] std::shared_ptr<SpeedEstimator> make_window_estimator(
+    double window_s);
+[[nodiscard]] std::shared_ptr<SpeedEstimator> make_forecast_estimator(
+    ForecastEstimator::Factory factory, std::string label);
+
+}  // namespace simsweep::strategy

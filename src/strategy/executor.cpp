@@ -1,0 +1,145 @@
+#include "strategy/executor.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace simsweep::strategy {
+
+IterativeExecution::IterativeExecution(
+    sim::Simulator& simulator, platform::Cluster& cluster,
+    net::SharedLinkNetwork& network, const app::AppSpec& spec,
+    std::vector<platform::HostId> placement, app::WorkPartition partition,
+    BoundaryHook hook)
+    : simulator_(simulator),
+      cluster_(cluster),
+      network_(network),
+      spec_(spec),
+      placement_(std::move(placement)),
+      partition_(std::move(partition)),
+      hook_(std::move(hook)) {
+  spec_.validate();
+  if (placement_.size() != spec_.active_processes)
+    throw std::invalid_argument(
+        "IterativeExecution: placement size != active processes");
+  if (partition_.slots() != spec_.active_processes)
+    throw std::invalid_argument(
+        "IterativeExecution: partition slots != active processes");
+  for (platform::HostId h : placement_)
+    if (h >= cluster_.size())
+      throw std::invalid_argument("IterativeExecution: placement host out of range");
+}
+
+void IterativeExecution::start(double startup_cost_s) {
+  if (startup_cost_s < 0.0)
+    throw std::invalid_argument("IterativeExecution: negative startup cost");
+  result_.startup_s = startup_cost_s;
+  simulator_.after(startup_cost_s, [this] { begin_iteration(); });
+}
+
+double IterativeExecution::last_iteration_time() const {
+  if (result_.iteration_times_s.empty())
+    throw std::logic_error("last_iteration_time: no iteration completed yet");
+  return result_.iteration_times_s.back();
+}
+
+void IterativeExecution::move_process(std::size_t slot, platform::HostId host) {
+  if (slot >= placement_.size())
+    throw std::invalid_argument("move_process: slot out of range");
+  if (host >= cluster_.size())
+    throw std::invalid_argument("move_process: host out of range");
+  placement_[slot] = host;
+}
+
+void IterativeExecution::set_placement(std::vector<platform::HostId> placement) {
+  if (placement.size() != spec_.active_processes)
+    throw std::invalid_argument("set_placement: wrong size");
+  for (platform::HostId h : placement)
+    if (h >= cluster_.size())
+      throw std::invalid_argument("set_placement: host out of range");
+  placement_ = std::move(placement);
+}
+
+void IterativeExecution::set_partition(app::WorkPartition partition) {
+  if (partition.slots() != spec_.active_processes)
+    throw std::invalid_argument("set_partition: wrong slot count");
+  partition_ = std::move(partition);
+}
+
+void IterativeExecution::begin_iteration() {
+  iter_start_ = simulator_.now();
+  in_flight_ = true;
+  pending_ = placement_.size();
+  tasks_.clear();
+  tasks_.reserve(placement_.size());
+  for (std::size_t slot = 0; slot < placement_.size(); ++slot) {
+    const double work =
+        spec_.work_per_iteration_flops * partition_.fraction(slot);
+    tasks_.push_back(cluster_.host(placement_[slot])
+                         .start_compute(work, [this] { compute_done(); }));
+  }
+  if (iteration_start_observer_) iteration_start_observer_(*this);
+}
+
+void IterativeExecution::abort_iteration() {
+  if (!in_flight_)
+    throw std::logic_error("abort_iteration: no iteration in flight");
+  for (auto& task : tasks_) task->cancel();
+  for (auto& flow : flows_) flow->cancel();
+  tasks_.clear();
+  flows_.clear();
+  pending_ = 0;
+  in_flight_ = false;
+  // The abandoned partial iteration is adaptation-induced lost time; charge
+  // it so makespan always decomposes into startup + iterations + overhead.
+  result_.adaptation_overhead_s += simulator_.now() - iter_start_;
+}
+
+void IterativeExecution::restart_iteration() {
+  if (in_flight_)
+    throw std::logic_error("restart_iteration: iteration already running");
+  if (done_) throw std::logic_error("restart_iteration: run already finished");
+  begin_iteration();
+}
+
+void IterativeExecution::compute_done() {
+  if (--pending_ > 0) return;
+  tasks_.clear();
+  // Communication phase: every process exchanges its boundary data over the
+  // shared link concurrently.  A single-process run has nobody to talk to.
+  if (placement_.size() < 2 || spec_.comm_bytes_per_process <= 0.0) {
+    iteration_complete();
+    return;
+  }
+  pending_ = placement_.size();
+  flows_.clear();
+  flows_.reserve(placement_.size());
+  for (std::size_t slot = 0; slot < placement_.size(); ++slot) {
+    flows_.push_back(network_.start_transfer(spec_.comm_bytes_per_process,
+                                             [this] { comm_done(); }));
+  }
+}
+
+void IterativeExecution::comm_done() {
+  if (--pending_ > 0) return;
+  flows_.clear();
+  iteration_complete();
+}
+
+void IterativeExecution::iteration_complete() {
+  in_flight_ = false;
+  result_.iteration_times_s.push_back(simulator_.now() - iter_start_);
+  ++result_.iterations_completed;
+  if (result_.iterations_completed >= spec_.iterations) {
+    done_ = true;
+    result_.finished = true;
+    result_.makespan_s = simulator_.now();
+    return;
+  }
+  if (hook_) {
+    hook_(*this, [this] { begin_iteration(); });
+  } else {
+    begin_iteration();
+  }
+}
+
+}  // namespace simsweep::strategy

@@ -1,0 +1,35 @@
+// Outcome of one simulated application run.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace simsweep::strategy {
+
+struct RunResult {
+  /// Wall-clock (simulated) time from submission to completion, including
+  /// startup and all adaptation overheads.
+  double makespan_s = 0.0;
+
+  std::size_t iterations_completed = 0;
+
+  /// Adaptation events: swaps for SWAP, restarts for CR, repartitions for
+  /// DLB, always 0 for NONE.
+  std::size_t adaptations = 0;
+
+  /// Simulated time spent paused for adaptation (state transfers,
+  /// checkpoint writes/reads, restart startup costs).  Excludes the initial
+  /// startup, which is reported separately.
+  double adaptation_overhead_s = 0.0;
+
+  /// Initial MPI startup cost (includes over-allocated processes).
+  double startup_s = 0.0;
+
+  /// Per-iteration durations, in order.
+  std::vector<double> iteration_times_s;
+
+  /// False when the run hit the simulation horizon before completing.
+  bool finished = false;
+};
+
+}  // namespace simsweep::strategy

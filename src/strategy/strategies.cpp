@@ -1,0 +1,453 @@
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "strategy/estimator.hpp"
+#include "strategy/strategy.hpp"
+#include "swap/planner.hpp"
+
+namespace simsweep::strategy {
+
+double estimate_comm_time(const app::AppSpec& spec,
+                          const platform::LinkSpec& link) {
+  if (spec.active_processes < 2 || spec.comm_bytes_per_process <= 0.0)
+    return 0.0;
+  const double total_bytes =
+      spec.comm_bytes_per_process * static_cast<double>(spec.active_processes);
+  return link.latency_s + total_bytes / link.bandwidth_Bps;
+}
+
+namespace {
+
+/// Equal chunks in flops, one per slot.
+std::vector<double> chunk_flops(const app::AppSpec& spec,
+                                const app::WorkPartition& partition) {
+  std::vector<double> out;
+  out.reserve(partition.slots());
+  for (std::size_t slot = 0; slot < partition.slots(); ++slot)
+    out.push_back(spec.work_per_iteration_flops * partition.fraction(slot));
+  return out;
+}
+
+/// Current effective speeds of the hosts in `placement`.
+std::vector<double> effective_speeds(
+    const platform::Cluster& cluster,
+    const std::vector<platform::HostId>& placement) {
+  std::vector<double> out;
+  out.reserve(placement.size());
+  for (platform::HostId h : placement)
+    out.push_back(cluster.host(h).effective_speed());
+  return out;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------------- NONE
+
+std::unique_ptr<IterativeExecution> NoneStrategy::launch(StrategyContext& ctx) {
+  Allocation alloc = pick_allocation(ctx.cluster, ctx.spec.active_processes, 0,
+                                     ctx.initial_schedule);
+  auto exec = std::make_unique<IterativeExecution>(
+      ctx.simulator, ctx.cluster, ctx.network, ctx.spec, alloc.active,
+      app::WorkPartition::equal(ctx.spec.active_processes),
+      IterativeExecution::BoundaryHook{});
+  exec->start(ctx.cluster.startup_cost(ctx.spec.active_processes));
+  return exec;
+}
+
+// --------------------------------------------------------------------- DLB
+
+std::unique_ptr<IterativeExecution> DlbStrategy::launch(StrategyContext& ctx) {
+  Allocation alloc = pick_allocation(ctx.cluster, ctx.spec.active_processes, 0,
+                                     ctx.initial_schedule);
+  // Initial partition balances iteration times for the speeds observed at
+  // startup; each boundary rebalances for current speeds, at zero cost.
+  auto initial = app::WorkPartition::proportional(
+      effective_speeds(ctx.cluster, alloc.active));
+  auto hook = [](IterativeExecution& exec, std::function<void()> resume) {
+    exec.set_partition(app::WorkPartition::proportional(
+        effective_speeds(exec.cluster(), exec.placement())));
+    ++exec.result().adaptations;
+    resume();
+  };
+  auto exec = std::make_unique<IterativeExecution>(
+      ctx.simulator, ctx.cluster, ctx.network, ctx.spec, alloc.active,
+      std::move(initial), hook);
+  exec->start(ctx.cluster.startup_cost(ctx.spec.active_processes));
+  return exec;
+}
+
+// -------------------------------------------------------------------- SWAP
+
+namespace {
+
+struct SwapRuntimeState {
+  swap::PolicyParams policy;
+  std::shared_ptr<SpeedEstimator> estimator;
+  std::vector<platform::HostId> spares;
+  std::vector<std::shared_ptr<net::Flow>> transfers;
+  std::size_t pending = 0;
+  sim::SimTime pause_start = 0.0;
+  // Eviction guard.
+  bool guard_enabled = false;
+  double stall_factor = 3.0;
+  sim::EventHandle watchdog;
+};
+
+/// Moves `slot`'s process onto `to`, updating the spare pool.
+void apply_move(IterativeExecution& exec, SwapRuntimeState& state,
+                std::size_t slot, platform::HostId to) {
+  const platform::HostId from = exec.placement()[slot];
+  exec.move_process(slot, to);
+  std::erase(state.spares, to);
+  state.spares.push_back(from);
+  ++exec.result().adaptations;
+}
+
+/// Forced relocation of every slot stuck on an offline host; fires from the
+/// stall watchdog.  The iteration is aborted (its partial work is lost),
+/// the suspended processes' state is transferred off the reclaimed hosts,
+/// and the iteration restarts on the new placement.
+void handle_stall(IterativeExecution& exec,
+                  const std::shared_ptr<SwapRuntimeState>& state) {
+  if (!exec.iteration_in_flight() || exec.done()) return;
+
+  std::vector<std::size_t> stuck;
+  for (std::size_t slot = 0; slot < exec.placement().size(); ++slot)
+    if (!exec.cluster().host(exec.placement()[slot]).online())
+      stuck.push_back(slot);
+
+  // Online spares, fastest first.
+  std::vector<platform::HostId> candidates;
+  for (platform::HostId h : state->spares)
+    if (exec.cluster().host(h).online()) candidates.push_back(h);
+  const sim::SimTime now = exec.simulator().now();
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](platform::HostId a, platform::HostId b) {
+                     return state->estimator->estimate(exec.cluster().host(a),
+                                                       now) >
+                            state->estimator->estimate(exec.cluster().host(b),
+                                                       now);
+                   });
+
+  if (stuck.empty() || candidates.empty()) {
+    // Slow but not evicted, or nowhere to go: check again later.
+    std::weak_ptr<SwapRuntimeState> weak = state;
+    state->watchdog = exec.simulator().after(
+        state->stall_factor * 60.0, [&exec, weak] {
+          if (auto s = weak.lock()) handle_stall(exec, s);
+        });
+    return;
+  }
+
+  exec.abort_iteration();
+  state->pause_start = now;
+  const std::size_t moves = std::min(stuck.size(), candidates.size());
+  state->pending = moves;
+  state->transfers.clear();
+  for (std::size_t i = 0; i < moves; ++i) {
+    const std::size_t slot = stuck[i];
+    const platform::HostId to = candidates[i];
+    state->transfers.push_back(exec.network().start_transfer(
+        exec.spec().state_bytes_per_process, [&exec, state, slot, to] {
+          apply_move(exec, *state, slot, to);
+          if (--state->pending == 0) {
+            state->transfers.clear();
+            exec.result().adaptation_overhead_s +=
+                exec.simulator().now() - state->pause_start;
+            exec.restart_iteration();  // re-arms the watchdog via observer
+          }
+        }));
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<IterativeExecution> SwapStrategy::launch(StrategyContext& ctx) {
+  Allocation alloc = pick_allocation(ctx.cluster, ctx.spec.active_processes,
+                                     ctx.spare_count, ctx.initial_schedule);
+  auto state = std::make_shared<SwapRuntimeState>();
+  state->policy = policy_;
+  state->estimator = options_.estimator
+                         ? options_.estimator->fresh()
+                         : make_window_estimator(policy_.history_window_s);
+  state->spares = alloc.spares;
+  state->guard_enabled = options_.eviction_guard;
+  state->stall_factor = options_.stall_factor;
+
+  auto hook = [state](IterativeExecution& exec, std::function<void()> resume) {
+    state->watchdog.cancel();  // boundary reached: the iteration completed
+    const sim::SimTime now = exec.simulator().now();
+    const auto active = make_active_estimates(
+        exec.cluster(), exec.placement(),
+        chunk_flops(exec.spec(), exec.partition()), now, *state->estimator);
+    const auto spares = make_spare_estimates(exec.cluster(), state->spares, now,
+                                             *state->estimator);
+    const platform::LinkSpec& link = exec.cluster().link();
+    const swap::PlanContext plan_ctx{
+        .measured_iter_time_s = exec.last_iteration_time(),
+        .state_bytes = exec.spec().state_bytes_per_process,
+        .link_latency_s = link.latency_s,
+        .link_bandwidth_Bps = link.bandwidth_Bps,
+        .comm_time_s = estimate_comm_time(exec.spec(), link),
+    };
+    const auto decisions =
+        swap::plan_swaps(state->policy, active, spares, plan_ctx);
+    if (decisions.empty()) {
+      resume();
+      return;
+    }
+    // Transfer every swapped process's state concurrently over the shared
+    // link; the application stays paused (full barrier) until the last
+    // transfer lands, then the placement changes take effect.
+    state->pause_start = now;
+    state->pending = decisions.size();
+    state->transfers.clear();
+    for (const swap::SwapDecision& d : decisions) {
+      state->transfers.push_back(exec.network().start_transfer(
+          exec.spec().state_bytes_per_process,
+          [state, d, &exec, resume] {
+            apply_move(exec, *state, d.slot, d.to);
+            if (--state->pending == 0) {
+              state->transfers.clear();
+              exec.result().adaptation_overhead_s +=
+                  exec.simulator().now() - state->pause_start;
+              resume();
+            }
+          }));
+    }
+  };
+
+  auto exec = std::make_unique<IterativeExecution>(
+      ctx.simulator, ctx.cluster, ctx.network, ctx.spec, alloc.active,
+      app::WorkPartition::equal(ctx.spec.active_processes), hook);
+
+  if (options_.eviction_guard) {
+    exec->set_iteration_start_observer([state](IterativeExecution& e) {
+      state->watchdog.cancel();
+      // Expected duration: the last measured iteration, or a prediction
+      // from current estimates for the very first one.
+      double expected;
+      if (e.result().iterations_completed > 0) {
+        expected = e.last_iteration_time();
+      } else {
+        const auto active = make_active_estimates(
+            e.cluster(), e.placement(),
+            chunk_flops(e.spec(), e.partition()), e.simulator().now(),
+            *state->estimator);
+        expected = swap::predict_iteration_time(
+            active, estimate_comm_time(e.spec(), e.cluster().link()));
+      }
+      if (!std::isfinite(expected) || expected <= 0.0) expected = 60.0;
+      std::weak_ptr<SwapRuntimeState> weak = state;
+      state->watchdog =
+          e.simulator().after(state->stall_factor * expected, [&e, weak] {
+            if (auto s = weak.lock()) handle_stall(e, s);
+          });
+    });
+  }
+
+  exec->start(ctx.cluster.startup_cost(alloc.total()));
+  return exec;
+}
+
+// ---------------------------------------------------------------- DLB+SWAP
+
+std::unique_ptr<IterativeExecution> DlbSwapStrategy::launch(
+    StrategyContext& ctx) {
+  Allocation alloc = pick_allocation(ctx.cluster, ctx.spec.active_processes,
+                                     ctx.spare_count, ctx.initial_schedule);
+  auto state = std::make_shared<SwapRuntimeState>();
+  state->policy = policy_;
+  state->estimator = make_window_estimator(policy_.history_window_s);
+  state->spares = alloc.spares;
+
+  // Re-partition for the estimated speeds of the (possibly just changed)
+  // placement; counted as part of the same adaptation, at zero cost.
+  auto repartition = [state](IterativeExecution& exec) {
+    const sim::SimTime now = exec.simulator().now();
+    std::vector<double> speeds;
+    speeds.reserve(exec.placement().size());
+    for (platform::HostId h : exec.placement())
+      speeds.push_back(
+          std::max(1.0, state->estimator->estimate(exec.cluster().host(h), now)));
+    exec.set_partition(app::WorkPartition::proportional(speeds));
+  };
+
+  auto hook = [state, repartition](IterativeExecution& exec,
+                                   std::function<void()> resume) {
+    const sim::SimTime now = exec.simulator().now();
+    const auto active = make_active_estimates(
+        exec.cluster(), exec.placement(),
+        chunk_flops(exec.spec(), exec.partition()), now, *state->estimator);
+    const auto spares = make_spare_estimates(exec.cluster(), state->spares, now,
+                                             *state->estimator);
+    const platform::LinkSpec& link = exec.cluster().link();
+    const swap::PlanContext plan_ctx{
+        .measured_iter_time_s = exec.last_iteration_time(),
+        .state_bytes = exec.spec().state_bytes_per_process,
+        .link_latency_s = link.latency_s,
+        .link_bandwidth_Bps = link.bandwidth_Bps,
+        .comm_time_s = estimate_comm_time(exec.spec(), link),
+    };
+    const auto decisions =
+        swap::plan_swaps(state->policy, active, spares, plan_ctx);
+    if (decisions.empty()) {
+      repartition(exec);
+      resume();
+      return;
+    }
+    state->pause_start = now;
+    state->pending = decisions.size();
+    state->transfers.clear();
+    for (const swap::SwapDecision& d : decisions) {
+      state->transfers.push_back(exec.network().start_transfer(
+          exec.spec().state_bytes_per_process,
+          [state, d, &exec, resume, repartition] {
+            apply_move(exec, *state, d.slot, d.to);
+            if (--state->pending == 0) {
+              state->transfers.clear();
+              exec.result().adaptation_overhead_s +=
+                  exec.simulator().now() - state->pause_start;
+              repartition(exec);
+              resume();
+            }
+          }));
+    }
+  };
+
+  auto exec = std::make_unique<IterativeExecution>(
+      ctx.simulator, ctx.cluster, ctx.network, ctx.spec, alloc.active,
+      app::WorkPartition::proportional([&] {
+        std::vector<double> speeds;
+        for (platform::HostId h : alloc.active)
+          speeds.push_back(ctx.cluster.host(h).effective_speed());
+        return speeds;
+      }()),
+      hook);
+  exec->start(ctx.cluster.startup_cost(alloc.total()));
+  return exec;
+}
+
+// ---------------------------------------------------------------------- CR
+
+namespace {
+
+struct CrRuntimeState {
+  swap::PolicyParams policy;
+  std::vector<platform::HostId> pool;  // every allocated host
+  std::vector<std::shared_ptr<net::Flow>> transfers;
+  std::size_t pending = 0;
+  sim::SimTime pause_start = 0.0;
+};
+
+/// N fastest pool hosts by windowed estimate, fastest first.
+std::vector<platform::HostId> best_of_pool(const platform::Cluster& cluster,
+                                           const std::vector<platform::HostId>& pool,
+                                           std::size_t n, sim::SimTime now,
+                                           double window_s) {
+  std::vector<platform::HostId> sorted = pool;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [&](platform::HostId a, platform::HostId b) {
+                     return estimate_speed(cluster.host(a), now, window_s) >
+                            estimate_speed(cluster.host(b), now, window_s);
+                   });
+  sorted.resize(n);
+  return sorted;
+}
+
+}  // namespace
+
+std::unique_ptr<IterativeExecution> CrStrategy::launch(StrategyContext& ctx) {
+  Allocation alloc = pick_allocation(ctx.cluster, ctx.spec.active_processes,
+                                     ctx.spare_count, ctx.initial_schedule);
+  auto state = std::make_shared<CrRuntimeState>();
+  state->policy = policy_;
+  state->pool = alloc.active;
+  state->pool.insert(state->pool.end(), alloc.spares.begin(),
+                     alloc.spares.end());
+
+  auto hook = [state](IterativeExecution& exec, std::function<void()> resume) {
+    const sim::SimTime now = exec.simulator().now();
+    const double window = state->policy.history_window_s;
+    const auto active = make_active_estimates(
+        exec.cluster(), exec.placement(),
+        chunk_flops(exec.spec(), exec.partition()), now, window);
+    std::vector<platform::HostId> idle;
+    for (platform::HostId h : state->pool)
+      if (std::find(exec.placement().begin(), exec.placement().end(), h) ==
+          exec.placement().end())
+        idle.push_back(h);
+    const auto spares =
+        make_spare_estimates(exec.cluster(), idle, now, window);
+    const platform::LinkSpec& link = exec.cluster().link();
+    const std::size_t n = exec.spec().active_processes;
+    // CR's true cost: write N states, restart the application, read N
+    // states.  Charge it in the payback computation.
+    const double transfer_each =
+        link.latency_s + exec.spec().state_bytes_per_process *
+                             static_cast<double>(n) / link.bandwidth_Bps;
+    const double cr_cost =
+        2.0 * transfer_each + exec.cluster().startup_cost(n);
+    const swap::PlanContext plan_ctx{
+        .measured_iter_time_s = exec.last_iteration_time(),
+        .state_bytes = exec.spec().state_bytes_per_process,
+        .link_latency_s = link.latency_s,
+        .link_bandwidth_Bps = link.bandwidth_Bps,
+        .comm_time_s = estimate_comm_time(exec.spec(), link),
+        .fixed_swap_time_s = cr_cost,
+    };
+    const auto decisions =
+        swap::plan_swaps(state->policy, active, spares, plan_ctx);
+    if (decisions.empty()) {
+      resume();
+      return;
+    }
+    // Checkpoint: all processes write state to the central store.
+    state->pause_start = now;
+    state->pending = n;
+    state->transfers.clear();
+    auto after_write = [state, &exec, resume, n] {
+      // Restart: pay startup, then every process reads the checkpoint on
+      // the new placement.
+      exec.simulator().after(
+          exec.cluster().startup_cost(n), [state, &exec, resume, n] {
+            exec.set_placement(best_of_pool(exec.cluster(), state->pool, n,
+                                            exec.simulator().now(),
+                                            state->policy.history_window_s));
+            state->pending = n;
+            state->transfers.clear();
+            for (std::size_t i = 0; i < n; ++i) {
+              state->transfers.push_back(exec.network().start_transfer(
+                  exec.spec().state_bytes_per_process, [state, &exec, resume] {
+                    if (--state->pending == 0) {
+                      state->transfers.clear();
+                      ++exec.result().adaptations;
+                      exec.result().adaptation_overhead_s +=
+                          exec.simulator().now() - state->pause_start;
+                      resume();
+                    }
+                  }));
+            }
+          });
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+      state->transfers.push_back(exec.network().start_transfer(
+          exec.spec().state_bytes_per_process, [state, after_write] {
+            if (--state->pending == 0) {
+              state->transfers.clear();
+              after_write();
+            }
+          }));
+    }
+  };
+
+  auto exec = std::make_unique<IterativeExecution>(
+      ctx.simulator, ctx.cluster, ctx.network, ctx.spec, alloc.active,
+      app::WorkPartition::equal(ctx.spec.active_processes), hook);
+  exec->start(ctx.cluster.startup_cost(ctx.spec.active_processes));
+  return exec;
+}
+
+}  // namespace simsweep::strategy

@@ -1,0 +1,84 @@
+#include "swampi/checkpoint_ext.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace swampi::swapx {
+
+void CheckpointStore::write(int slot, Snapshot snapshot) {
+  const std::scoped_lock lock(mutex_);
+  snapshots_[slot] = std::move(snapshot);
+}
+
+bool CheckpointStore::complete(int active_count) const {
+  const std::scoped_lock lock(mutex_);
+  if (active_count <= 0) return false;
+  const auto first = snapshots_.find(0);
+  if (first == snapshots_.end()) return false;
+  for (int slot = 0; slot < active_count; ++slot) {
+    const auto it = snapshots_.find(slot);
+    if (it == snapshots_.end() ||
+        it->second.iteration != first->second.iteration)
+      return false;
+  }
+  return true;
+}
+
+std::uint64_t CheckpointStore::iteration(int active_count) const {
+  if (!complete(active_count))
+    throw std::logic_error("CheckpointStore: no complete checkpoint");
+  const std::scoped_lock lock(mutex_);
+  return snapshots_.at(0).iteration;
+}
+
+CheckpointStore::Snapshot CheckpointStore::read(int slot) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = snapshots_.find(slot);
+  if (it == snapshots_.end())
+    throw std::out_of_range("CheckpointStore: no snapshot for slot");
+  return it->second;
+}
+
+std::size_t CheckpointStore::slots_stored() const {
+  const std::scoped_lock lock(mutex_);
+  return snapshots_.size();
+}
+
+void checkpoint(SwapContext& ctx, CheckpointStore& store,
+                std::uint64_t iteration) {
+  const Role role = ctx.role();
+  if (role.active) {
+    CheckpointStore::Snapshot snapshot;
+    snapshot.iteration = iteration;
+    snapshot.buffers.reserve(ctx.registrations().size());
+    for (const SwapContext::Registration& reg : ctx.registrations()) {
+      const auto* bytes = static_cast<const std::byte*>(reg.data);
+      snapshot.buffers.emplace_back(bytes, bytes + reg.bytes);
+    }
+    store.write(role.slot, std::move(snapshot));
+  }
+  // Writers must land before any rank treats the checkpoint as complete.
+  ctx.world().barrier();
+}
+
+std::uint64_t restore(SwapContext& ctx, CheckpointStore& store) {
+  if (!store.complete(ctx.active_count()))
+    throw std::logic_error("restore: checkpoint is incomplete");
+  const Role role = ctx.role();
+  if (role.active) {
+    const CheckpointStore::Snapshot snapshot = store.read(role.slot);
+    if (snapshot.buffers.size() != ctx.registrations().size())
+      throw std::runtime_error("restore: registration count mismatch");
+    for (std::size_t i = 0; i < snapshot.buffers.size(); ++i) {
+      const SwapContext::Registration& reg = ctx.registrations()[i];
+      if (snapshot.buffers[i].size() != reg.bytes)
+        throw std::runtime_error("restore: registration size mismatch");
+      std::memcpy(reg.data, snapshot.buffers[i].data(), reg.bytes);
+    }
+  }
+  const std::uint64_t iteration = store.iteration(ctx.active_count());
+  ctx.world().barrier();
+  return iteration;
+}
+
+}  // namespace swampi::swapx

@@ -1,0 +1,63 @@
+// Application-level checkpointing for swampi iterative applications.
+//
+// The paper's CR competitor and its references ([2] Cactus Worm, [40] the
+// GrADS metascheduler) rely on the same observation that makes swapping
+// cheap: an iterative application's state is a known set of arrays at an
+// iteration boundary.  This extension reuses the SwapContext state registry
+// (the variables that would travel on a swap are exactly the ones worth
+// checkpointing) and stores per-slot snapshots in a central CheckpointStore
+// — the simulated "central location" of the paper's CR model, in memory
+// here so tests and examples run hermetically.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "swampi/swap_ext.hpp"
+
+namespace swampi::swapx {
+
+/// Thread-safe snapshot store shared by all ranks of a runtime (the
+/// "central location" checkpoints are written to).
+class CheckpointStore {
+ public:
+  struct Snapshot {
+    std::uint64_t iteration = 0;
+    std::vector<std::vector<std::byte>> buffers;  // one per registration
+  };
+
+  /// Replaces slot's snapshot.
+  void write(int slot, Snapshot snapshot);
+
+  /// True when a snapshot exists for every slot in [0, active_count) with
+  /// the same iteration stamp.
+  [[nodiscard]] bool complete(int active_count) const;
+
+  /// Iteration stamp of the newest complete checkpoint; throws when none.
+  [[nodiscard]] std::uint64_t iteration(int active_count) const;
+
+  /// Read access to one slot's snapshot; throws when absent.
+  [[nodiscard]] Snapshot read(int slot) const;
+
+  [[nodiscard]] std::size_t slots_stored() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<int, Snapshot> snapshots_;
+};
+
+/// Collective over the SwapContext's world: every active rank copies its
+/// registered state into the store, stamped with `iteration`.  All ranks
+/// must call it (spares contribute nothing) at the same point, like
+/// swap_point().
+void checkpoint(SwapContext& ctx, CheckpointStore& store,
+                std::uint64_t iteration);
+
+/// Collective: every active rank overwrites its registered state from the
+/// store.  Returns the checkpoint's iteration stamp (identical on all
+/// ranks).  Precondition: store.complete(ctx.active_count()).
+std::uint64_t restore(SwapContext& ctx, CheckpointStore& store);
+
+}  // namespace swampi::swapx

@@ -1,0 +1,162 @@
+#include "swampi/comm.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace swampi {
+
+Status Request::wait() {
+  if (done_) return status_;
+  std::vector<std::byte> buf;
+  status_ =
+      recv_.comm->recv_bytes(buf, recv_.source, recv_.tag);
+  if (status_.bytes != recv_.bytes)
+    throw std::runtime_error("swampi::Request::wait: size mismatch");
+  std::memcpy(recv_.buffer, buf.data(), status_.bytes);
+  done_ = true;
+  return status_;
+}
+
+bool Request::test() {
+  if (done_) return true;
+  if (recv_.comm->runtime()
+          .mailbox(recv_.comm->world_rank(recv_.comm->rank()))
+          .probe(recv_.comm->context_, recv_.source, recv_.tag)) {
+    (void)wait();
+    return true;
+  }
+  return false;
+}
+
+Comm::Comm(Runtime& runtime, ContextId context, std::vector<Rank> group,
+           int my_index)
+    : runtime_(runtime),
+      context_(context),
+      group_(std::move(group)),
+      my_index_(my_index) {
+  if (my_index_ < 0 || my_index_ >= static_cast<int>(group_.size()))
+    throw std::invalid_argument("Comm: rank outside group");
+}
+
+void Comm::send_bytes(std::span<const std::byte> data, Rank dest, Tag tag) {
+  if (tag < 0 || tag >= kReservedTagBase)
+    throw std::invalid_argument("swampi::send: tag out of user range");
+  runtime_.mailbox(world_rank(dest))
+      .deliver(Envelope{.context = context_,
+                        .source = my_index_,
+                        .tag = tag,
+                        .payload = {data.begin(), data.end()}});
+}
+
+Status Comm::recv_bytes(std::vector<std::byte>& out, Rank source, Tag tag) {
+  Envelope e =
+      runtime_.mailbox(world_rank(my_index_)).receive(context_, source, tag);
+  out = std::move(e.payload);
+  return Status{.source = e.source, .tag = e.tag, .bytes = out.size()};
+}
+
+void Comm::internal_send(const std::byte* data, std::size_t bytes, Rank dest,
+                         Tag tag) {
+  runtime_.mailbox(world_rank(dest))
+      .deliver(Envelope{.context = internal_context(),
+                        .source = my_index_,
+                        .tag = tag,
+                        .payload = {data, data + bytes}});
+}
+
+void Comm::internal_recv(std::byte* data, std::size_t bytes, Rank source,
+                         Tag tag) {
+  Envelope e = runtime_.mailbox(world_rank(my_index_))
+                   .receive(internal_context(), source, tag);
+  if (e.payload.size() != bytes)
+    throw std::runtime_error("swampi::internal_recv: size mismatch");
+  std::memcpy(data, e.payload.data(), bytes);
+}
+
+void Comm::barrier() {
+  // Linear fan-in to rank 0, then fan-out.  Fine at in-process scales.
+  const std::byte token{0};
+  if (rank() == 0) {
+    for (Rank r = 1; r < size(); ++r) {
+      std::byte in;
+      internal_recv(&in, 1, r, kTagBarrier);
+    }
+    for (Rank r = 1; r < size(); ++r) internal_send(&token, 1, r, kTagBarrier);
+  } else {
+    internal_send(&token, 1, 0, kTagBarrier);
+    std::byte in;
+    internal_recv(&in, 1, 0, kTagBarrier);
+  }
+}
+
+void Comm::bcast_bytes(std::byte* data, std::size_t bytes, Rank root) {
+  if (rank() == root) {
+    for (Rank r = 0; r < size(); ++r)
+      if (r != root) internal_send(data, bytes, r, kTagBcast);
+  } else {
+    internal_recv(data, bytes, root, kTagBcast);
+  }
+}
+
+namespace {
+struct SplitRequest {
+  int color;
+  int key;
+};
+struct SplitReply {
+  ContextId context;
+  int new_rank;
+  int group_size;
+};
+}  // namespace
+
+Comm Comm::split(int color, int key) {
+  if (color < 0) throw std::invalid_argument("swampi::split: negative color");
+  const SplitRequest mine{color, key};
+  if (rank() == 0) {
+    std::vector<SplitRequest> requests(static_cast<std::size_t>(size()));
+    requests[0] = mine;
+    for (Rank r = 1; r < size(); ++r)
+      requests[static_cast<std::size_t>(r)] =
+          internal_recv_value<SplitRequest>(r, kTagSplit);
+
+    // Group ranks by color; order within a group by (key, old rank).
+    std::map<int, std::vector<Rank>> groups;
+    for (Rank r = 0; r < size(); ++r)
+      groups[requests[static_cast<std::size_t>(r)].color].push_back(r);
+    std::map<Rank, SplitReply> replies;
+    std::map<Rank, std::vector<Rank>> world_groups;
+    for (auto& [c, members] : groups) {
+      std::stable_sort(members.begin(), members.end(), [&](Rank a, Rank b) {
+        return requests[static_cast<std::size_t>(a)].key <
+               requests[static_cast<std::size_t>(b)].key;
+      });
+      const ContextId ctx = runtime_.next_context();
+      std::vector<Rank> world_members;
+      world_members.reserve(members.size());
+      for (Rank m : members) world_members.push_back(world_rank(m));
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        replies[members[i]] = SplitReply{ctx, static_cast<int>(i),
+                                         static_cast<int>(members.size())};
+        world_groups[members[i]] = world_members;
+      }
+    }
+    for (Rank r = 1; r < size(); ++r) {
+      internal_send_value(replies[r], r, kTagSplit);
+      const auto& wg = world_groups[r];
+      internal_send(reinterpret_cast<const std::byte*>(wg.data()),
+                    wg.size() * sizeof(Rank), r, kTagSplit);
+    }
+    const SplitReply& rep = replies[0];
+    return Comm(runtime_, rep.context, world_groups[0], rep.new_rank);
+  }
+
+  internal_send_value(mine, 0, kTagSplit);
+  const auto rep = internal_recv_value<SplitReply>(0, kTagSplit);
+  std::vector<Rank> world_group(static_cast<std::size_t>(rep.group_size));
+  internal_recv(reinterpret_cast<std::byte*>(world_group.data()),
+                world_group.size() * sizeof(Rank), 0, kTagSplit);
+  return Comm(runtime_, rep.context, std::move(world_group), rep.new_rank);
+}
+
+}  // namespace swampi

@@ -1,0 +1,292 @@
+// swampi communicator: point-to-point, collectives, split/dup.
+//
+// A Comm is a (context id, ordered group of world ranks) pair.  User
+// traffic and library-internal traffic (collectives, split coordination,
+// the swap protocol) travel on different context ids derived from the same
+// communicator, so a wildcard user receive can never steal an internal
+// message.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "swampi/runtime.hpp"
+#include "swampi/types.hpp"
+
+namespace swampi {
+
+/// Handle for a nonblocking operation.  Eager sends complete immediately;
+/// a nonblocking receive performs its matching inside wait()/test().
+class Request {
+ public:
+  Request() = default;
+
+  /// Blocks until the operation completes; returns delivery metadata.
+  Status wait();
+
+  /// True when wait() would not block.
+  [[nodiscard]] bool test();
+
+ private:
+  friend class Comm;
+  struct RecvOp {
+    class Comm* comm;
+    std::byte* buffer;
+    std::size_t bytes;
+    Rank source;
+    Tag tag;
+  };
+  bool is_recv_ = false;
+  bool done_ = true;
+  Status status_;
+  RecvOp recv_{};
+};
+
+class Comm {
+ public:
+  /// World communicator for one rank thread (made by Runtime::run).
+  Comm(Runtime& runtime, ContextId context, std::vector<Rank> group,
+       int my_index);
+
+  [[nodiscard]] int rank() const noexcept { return my_index_; }
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(group_.size());
+  }
+  [[nodiscard]] Runtime& runtime() noexcept { return runtime_; }
+
+  /// World rank behind a communicator rank.
+  [[nodiscard]] Rank world_rank(Rank comm_rank) const {
+    return group_.at(static_cast<std::size_t>(comm_rank));
+  }
+
+  // ---- point-to-point -----------------------------------------------------
+
+  void send_bytes(std::span<const std::byte> data, Rank dest, Tag tag);
+  Status recv_bytes(std::vector<std::byte>& out, Rank source, Tag tag);
+
+  /// Typed blocking send/recv for trivially copyable element types.
+  template <typename T>
+  void send(const T* data, std::size_t count, Rank dest, Tag tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(std::as_bytes(std::span<const T>(data, count)), dest, tag);
+  }
+
+  template <typename T>
+  Status recv(T* data, std::size_t count, Rank source, Tag tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> buf;
+    Status st = recv_bytes(buf, source, tag);
+    if (st.bytes != count * sizeof(T))
+      throw std::runtime_error("swampi::recv: size mismatch");
+    std::memcpy(data, buf.data(), st.bytes);
+    return st;
+  }
+
+  /// Convenience single-value forms.
+  template <typename T>
+  void send_value(const T& value, Rank dest, Tag tag) {
+    send(&value, 1, dest, tag);
+  }
+  template <typename T>
+  [[nodiscard]] T recv_value(Rank source, Tag tag) {
+    T out;
+    recv(&out, 1, source, tag);
+    return out;
+  }
+
+  /// Combined exchange, deadlock-free under swampi's eager sends: the send
+  /// buffers at the destination before the receive blocks.
+  template <typename T>
+  Status sendrecv(const T* send_data, std::size_t send_count, Rank dest,
+                  Tag send_tag, T* recv_data, std::size_t recv_count,
+                  Rank source, Tag recv_tag) {
+    send(send_data, send_count, dest, send_tag);
+    return recv(recv_data, recv_count, source, recv_tag);
+  }
+
+  /// Non-blocking probe for a matching user message.
+  [[nodiscard]] bool iprobe(Rank source, Tag tag) {
+    return runtime_.mailbox(world_rank(my_index_))
+        .probe(context_, source, tag);
+  }
+
+  /// Nonblocking operations.
+  template <typename T>
+  Request isend(const T* data, std::size_t count, Rank dest, Tag tag) {
+    send(data, count, dest, tag);  // eager: completes on enqueue
+    Request r;
+    r.status_ = Status{.source = rank(), .tag = tag, .bytes = count * sizeof(T)};
+    return r;
+  }
+
+  template <typename T>
+  Request irecv(T* data, std::size_t count, Rank source, Tag tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Request r;
+    r.is_recv_ = true;
+    r.done_ = false;
+    r.recv_ = Request::RecvOp{
+        .comm = this,
+        .buffer = reinterpret_cast<std::byte*>(data),
+        .bytes = count * sizeof(T),
+        .source = source,
+        .tag = tag,
+    };
+    return r;
+  }
+
+  // ---- collectives --------------------------------------------------------
+
+  void barrier();
+
+  template <typename T>
+  void bcast(T* data, std::size_t count, Rank root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    bcast_bytes(reinterpret_cast<std::byte*>(data), count * sizeof(T), root);
+  }
+
+  template <typename T>
+  void reduce(const T* in, T* out, std::size_t count, Op op, Rank root) {
+    static_assert(std::is_arithmetic_v<T>);
+    if (rank() == root) {
+      std::vector<T> result(in, in + count);
+      std::vector<T> incoming(count);
+      for (Rank r = 0; r < size(); ++r) {
+        if (r == root) continue;
+        internal_recv(reinterpret_cast<std::byte*>(incoming.data()),
+                      count * sizeof(T), r, kTagReduce);
+        for (std::size_t i = 0; i < count; ++i)
+          result[i] = combine(result[i], incoming[i], op);
+      }
+      std::memcpy(out, result.data(), count * sizeof(T));
+    } else {
+      internal_send(reinterpret_cast<const std::byte*>(in), count * sizeof(T),
+                    root, kTagReduce);
+    }
+  }
+
+  template <typename T>
+  void allreduce(const T* in, T* out, std::size_t count, Op op) {
+    reduce(in, out, count, op, 0);
+    bcast(out, count, 0);
+  }
+
+  template <typename T>
+  [[nodiscard]] T allreduce_value(const T& value, Op op) {
+    T out{};
+    allreduce(&value, &out, 1, op);
+    return out;
+  }
+
+  template <typename T>
+  void gather(const T* in, std::size_t count, T* out, Rank root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (rank() == root) {
+      for (Rank r = 0; r < size(); ++r) {
+        std::byte* slot =
+            reinterpret_cast<std::byte*>(out) + static_cast<std::size_t>(r) *
+                                                    count * sizeof(T);
+        if (r == root) {
+          std::memcpy(slot, in, count * sizeof(T));
+        } else {
+          internal_recv(slot, count * sizeof(T), r, kTagGather);
+        }
+      }
+    } else {
+      internal_send(reinterpret_cast<const std::byte*>(in), count * sizeof(T),
+                    root, kTagGather);
+    }
+  }
+
+  template <typename T>
+  void allgather(const T* in, std::size_t count, T* out) {
+    gather(in, count, out, 0);
+    bcast(out, count * static_cast<std::size_t>(size()), 0);
+  }
+
+  template <typename T>
+  void scatter(const T* in, std::size_t count, T* out, Rank root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (rank() == root) {
+      for (Rank r = 0; r < size(); ++r) {
+        const std::byte* slot = reinterpret_cast<const std::byte*>(in) +
+                                static_cast<std::size_t>(r) * count * sizeof(T);
+        if (r == root) {
+          std::memcpy(out, slot, count * sizeof(T));
+        } else {
+          internal_send(slot, count * sizeof(T), r, kTagScatter);
+        }
+      }
+    } else {
+      internal_recv(reinterpret_cast<std::byte*>(out), count * sizeof(T), root,
+                    kTagScatter);
+    }
+  }
+
+  // ---- communicator management --------------------------------------------
+
+  /// Splits into disjoint communicators by color; ranks order by (key,
+  /// old rank) within each color.  Colors must be non-negative.  Collective.
+  [[nodiscard]] Comm split(int color, int key);
+
+  /// Duplicate with a fresh context.  Collective.
+  [[nodiscard]] Comm dup() { return split(0, rank()); }
+
+  // ---- internal-context messaging (used by the swap extension) ------------
+
+  void internal_send(const std::byte* data, std::size_t bytes, Rank dest,
+                     Tag tag);
+  void internal_recv(std::byte* data, std::size_t bytes, Rank source, Tag tag);
+
+  template <typename T>
+  void internal_send_value(const T& value, Rank dest, Tag tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    internal_send(reinterpret_cast<const std::byte*>(&value), sizeof(T), dest,
+                  tag);
+  }
+  template <typename T>
+  [[nodiscard]] T internal_recv_value(Rank source, Tag tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T out;
+    internal_recv(reinterpret_cast<std::byte*>(&out), sizeof(T), source, tag);
+    return out;
+  }
+
+ private:
+  friend class Request;
+
+  static constexpr Tag kTagBarrier = kReservedTagBase + 1;
+  static constexpr Tag kTagBcast = kReservedTagBase + 2;
+  static constexpr Tag kTagReduce = kReservedTagBase + 3;
+  static constexpr Tag kTagGather = kReservedTagBase + 4;
+  static constexpr Tag kTagScatter = kReservedTagBase + 5;
+  static constexpr Tag kTagSplit = kReservedTagBase + 6;
+
+  /// Internal traffic uses the high bit of the context id.
+  [[nodiscard]] ContextId internal_context() const noexcept {
+    return context_ | 0x8000'0000u;
+  }
+
+  void bcast_bytes(std::byte* data, std::size_t bytes, Rank root);
+
+  template <typename T>
+  static T combine(T a, T b, Op op) {
+    switch (op) {
+      case Op::kSum: return static_cast<T>(a + b);
+      case Op::kProd: return static_cast<T>(a * b);
+      case Op::kMin: return b < a ? b : a;
+      case Op::kMax: return a < b ? b : a;
+    }
+    throw std::logic_error("swampi: unknown reduction op");
+  }
+
+  Runtime& runtime_;
+  ContextId context_;
+  std::vector<Rank> group_;  // comm rank -> world rank
+  int my_index_;
+};
+
+}  // namespace swampi

@@ -1,0 +1,60 @@
+#include "swampi/mailbox.hpp"
+
+#include <algorithm>
+
+namespace swampi {
+
+void Mailbox::deliver(Envelope message) {
+  {
+    const std::scoped_lock lock(mutex_);
+    messages_.push_back(std::move(message));
+  }
+  cv_.notify_all();
+}
+
+Envelope Mailbox::receive(ContextId context, Rank source, Tag tag) {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    const auto it = std::find_if(
+        messages_.begin(), messages_.end(), [&](const Envelope& e) {
+          return matches(e, context, source, tag);
+        });
+    if (it != messages_.end()) {
+      Envelope out = std::move(*it);
+      messages_.erase(it);
+      return out;
+    }
+    cv_.wait(lock);
+  }
+}
+
+bool Mailbox::probe(ContextId context, Rank source, Tag tag) {
+  const std::scoped_lock lock(mutex_);
+  return std::any_of(messages_.begin(), messages_.end(),
+                     [&](const Envelope& e) {
+                       return matches(e, context, source, tag);
+                     });
+}
+
+std::vector<Envelope> Mailbox::drain_context(ContextId context) {
+  const std::scoped_lock lock(mutex_);
+  std::vector<Envelope> out;
+  for (auto it = messages_.begin(); it != messages_.end();) {
+    if (it->context == context) {
+      out.push_back(std::move(*it));
+      it = messages_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+bool Mailbox::matches(const Envelope& e, ContextId context, Rank source,
+                      Tag tag) const {
+  return e.context == context &&
+         (source == kAnySource || e.source == source) &&
+         (tag == kAnyTag || e.tag == tag);
+}
+
+}  // namespace swampi

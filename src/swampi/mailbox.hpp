@@ -1,0 +1,55 @@
+// Per-rank message store.
+//
+// Senders enqueue copies of their payload (eager/buffered semantics: a
+// blocking send completes as soon as the bytes are enqueued); receivers
+// block until a message matching (context, source, tag) arrives.  Matching
+// respects MPI's non-overtaking rule: among matching messages the earliest
+// enqueued wins.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "swampi/types.hpp"
+
+namespace swampi {
+
+/// Identifies the communicator a message travels on.
+using ContextId = std::uint32_t;
+
+struct Envelope {
+  ContextId context = 0;
+  Rank source = 0;  ///< sender's rank *within that communicator*
+  Tag tag = 0;
+  std::vector<std::byte> payload;
+};
+
+class Mailbox {
+ public:
+  /// Enqueues a message; wakes any waiting receiver.
+  void deliver(Envelope message);
+
+  /// Blocks until a message matching (context, source-or-any, tag-or-any)
+  /// is available, removes and returns it.
+  [[nodiscard]] Envelope receive(ContextId context, Rank source, Tag tag);
+
+  /// Non-blocking probe: true when a matching message is queued.
+  [[nodiscard]] bool probe(ContextId context, Rank source, Tag tag);
+
+  /// Removes and returns every queued message on `context`, in arrival
+  /// order.  Used by the swap extension's message forwarding.
+  [[nodiscard]] std::vector<Envelope> drain_context(ContextId context);
+
+ private:
+  [[nodiscard]] bool matches(const Envelope& e, ContextId context, Rank source,
+                             Tag tag) const;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Envelope> messages_;
+};
+
+}  // namespace swampi

@@ -1,0 +1,46 @@
+#include "swampi/runtime.hpp"
+
+#include <exception>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+#include "swampi/comm.hpp"
+
+namespace swampi {
+
+Runtime::Runtime(int world_size) : world_size_(world_size) {
+  if (world_size <= 0)
+    throw std::invalid_argument("Runtime: world size must be positive");
+  mailboxes_.reserve(static_cast<std::size_t>(world_size));
+  for (int i = 0; i < world_size; ++i)
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+void Runtime::run(const std::function<void(Comm&)>& rank_main) {
+  std::vector<Rank> identity(static_cast<std::size_t>(world_size_));
+  std::iota(identity.begin(), identity.end(), Rank{0});
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(world_size_));
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  for (int r = 0; r < world_size_; ++r) {
+    threads.emplace_back([this, r, &identity, &rank_main, &first_error,
+                          &error_mutex] {
+      try {
+        Comm world(*this, /*context=*/0, identity, r);
+        rank_main(world);
+      } catch (...) {
+        const std::scoped_lock lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace swampi

@@ -1,0 +1,44 @@
+// swampi runtime: owns the rank threads and their mailboxes.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "swampi/mailbox.hpp"
+#include "swampi/types.hpp"
+
+namespace swampi {
+
+class Comm;
+
+class Runtime {
+ public:
+  explicit Runtime(int world_size);
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  [[nodiscard]] int world_size() const noexcept { return world_size_; }
+
+  /// Runs `rank_main(world)` on `world_size` threads, one per rank, and
+  /// joins them all.  Exceptions thrown by any rank are rethrown (first
+  /// rank's exception wins) after every thread has been joined.
+  void run(const std::function<void(Comm&)>& rank_main);
+
+  /// Mailbox of a world rank (library internal).
+  [[nodiscard]] Mailbox& mailbox(Rank world_rank) {
+    return *mailboxes_.at(static_cast<std::size_t>(world_rank));
+  }
+
+  /// Allocates a fresh communicator context id (library internal).
+  [[nodiscard]] ContextId next_context() noexcept { return next_context_++; }
+
+ private:
+  int world_size_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::atomic<ContextId> next_context_{1};  // 0 = world
+};
+
+}  // namespace swampi

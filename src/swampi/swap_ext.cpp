@@ -1,0 +1,207 @@
+#include "swampi/swap_ext.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace swampi::swapx {
+
+namespace {
+constexpr Tag kTagSwapReport = kReservedTagBase + 32;
+constexpr Tag kTagSwapPlan = kReservedTagBase + 33;
+constexpr Tag kTagSwapState = kReservedTagBase + 34;
+constexpr Tag kTagSwapForward = kReservedTagBase + 512;
+
+/// Wire header for one forwarded envelope.
+struct ForwardHeader {
+  ContextId context;
+  Rank source;
+  Tag tag;
+  std::uint64_t bytes;
+};
+}  // namespace
+
+SwapContext::SwapContext(Comm& world, SwapConfig config)
+    : world_(world), config_(std::move(config)), epoch_(std::chrono::steady_clock::now()) {
+  if (config_.active_count <= 0 || config_.active_count > world_.size())
+    throw std::invalid_argument(
+        "SwapContext: active_count must be in [1, world size]");
+  if (!config_.speed_probe)
+    throw std::invalid_argument("SwapContext: speed_probe is required");
+  if (!config_.clock) {
+    config_.clock = [this] {
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           epoch_)
+          .count();
+    };
+  }
+  rank_of_slot_.resize(static_cast<std::size_t>(config_.active_count));
+  std::iota(rank_of_slot_.begin(), rank_of_slot_.end(), Rank{0});
+  const bool active = world_.rank() < config_.active_count;
+  role_ = Role{.active = active, .slot = active ? world_.rank() : -1};
+  if (world_.rank() == 0)
+    history_.resize(static_cast<std::size_t>(world_.size()));
+}
+
+void SwapContext::register_state(void* data, std::size_t bytes) {
+  if (data == nullptr && bytes > 0)
+    throw std::invalid_argument("register_state: null data");
+  registrations_.push_back(Registration{data, bytes});
+}
+
+std::size_t SwapContext::state_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const Registration& r : registrations_) total += r.bytes;
+  return total;
+}
+
+Role SwapContext::swap_point(double measured_iter_time_s) {
+  // 1. Every rank reports its probe + iteration time to the manager.
+  const Report mine{config_.speed_probe(), measured_iter_time_s};
+  std::vector<Report> reports;
+  if (world_.rank() == 0)
+    reports.resize(static_cast<std::size_t>(world_.size()));
+  world_.gather(&mine, 1, reports.data(), 0);
+
+  // 2. The manager plans; everyone learns the decisions.
+  std::vector<SwapEvent> events;
+  if (world_.rank() == 0) events = manager_plan(reports);
+  int count = static_cast<int>(events.size());
+  world_.bcast(&count, 1, 0);
+  events.resize(static_cast<std::size_t>(count));
+  if (count > 0) world_.bcast(events.data(), events.size(), 0);
+
+  // 3. Registered state moves from evicted ranks to activated spares, then
+  //    everyone updates its role table.
+  if (count > 0) {
+    transfer_state(events);
+    if (config_.forward_pending_messages) forward_messages(events);
+    apply_events(events);
+  }
+  last_events_ = std::move(events);
+  total_swaps_ += static_cast<std::size_t>(count);
+  return role_;
+}
+
+std::vector<SwapEvent> SwapContext::manager_plan(
+    const std::vector<Report>& reports) {
+  const double now = config_.clock();
+  for (std::size_t r = 0; r < reports.size(); ++r)
+    history_[r].record(now, reports[r].speed);
+
+  const double window = config_.policy.history_window_s;
+  auto estimate = [&](Rank r) {
+    return history_[static_cast<std::size_t>(r)].windowed_mean(
+        now, window, reports[static_cast<std::size_t>(r)].speed);
+  };
+
+  // Active processes: equal chunks (the paper's fixed data distribution).
+  std::vector<policy::ActiveProcess> active;
+  double iter_time = 0.0;
+  for (std::size_t slot = 0; slot < rank_of_slot_.size(); ++slot) {
+    const Rank r = rank_of_slot_[slot];
+    active.push_back(policy::ActiveProcess{
+        .slot = slot,
+        .host = static_cast<std::uint32_t>(r),
+        .est_speed = estimate(r),
+        .chunk_flops = 1.0,
+    });
+    iter_time =
+        std::max(iter_time, reports[static_cast<std::size_t>(r)].iter_time);
+  }
+
+  std::vector<policy::HostEstimate> spares;
+  for (Rank r = 0; r < world_.size(); ++r) {
+    if (std::find(rank_of_slot_.begin(), rank_of_slot_.end(), r) !=
+        rank_of_slot_.end())
+      continue;
+    spares.push_back(policy::HostEstimate{
+        .host = static_cast<std::uint32_t>(r), .est_speed = estimate(r)});
+  }
+
+  const policy::PlanContext ctx{
+      .measured_iter_time_s = iter_time,
+      .state_bytes = static_cast<double>(state_bytes()),
+      .link_latency_s = config_.link_latency_s,
+      .link_bandwidth_Bps = config_.link_bandwidth_Bps,
+      .comm_time_s = 0.0,
+  };
+  const auto decisions = policy::plan_swaps(config_.policy, active, spares, ctx);
+
+  std::vector<SwapEvent> events;
+  events.reserve(decisions.size());
+  for (const policy::SwapDecision& d : decisions)
+    events.push_back(SwapEvent{.slot = static_cast<int>(d.slot),
+                               .from = static_cast<Rank>(d.from),
+                               .to = static_cast<Rank>(d.to)});
+  return events;
+}
+
+void SwapContext::transfer_state(const std::vector<SwapEvent>& events) {
+  for (const SwapEvent& e : events) {
+    if (world_.rank() == e.from) {
+      Tag tag = kTagSwapState;
+      for (const Registration& reg : registrations_)
+        world_.internal_send(static_cast<const std::byte*>(reg.data),
+                             reg.bytes, e.to, tag++);
+    } else if (world_.rank() == e.to) {
+      Tag tag = kTagSwapState;
+      for (const Registration& reg : registrations_)
+        world_.internal_recv(static_cast<std::byte*>(reg.data), reg.bytes,
+                             e.from, tag++);
+    }
+  }
+}
+
+void SwapContext::forward_messages(const std::vector<SwapEvent>& events) {
+  // The evicted rank drains its pending user-context messages and ships
+  // them, in arrival order, to the rank taking over the slot, which
+  // re-delivers them to its own mailbox.
+  for (const SwapEvent& e : events) {
+    if (world_.rank() == e.from) {
+      auto pending = world_.runtime()
+                         .mailbox(world_.world_rank(world_.rank()))
+                         .drain_context(/*user world context=*/0);
+      const std::uint64_t count = pending.size();
+      world_.internal_send(reinterpret_cast<const std::byte*>(&count),
+                           sizeof(count), e.to, kTagSwapForward);
+      for (const Envelope& env : pending) {
+        const ForwardHeader header{env.context, env.source, env.tag,
+                                   env.payload.size()};
+        world_.internal_send(reinterpret_cast<const std::byte*>(&header),
+                             sizeof(header), e.to, kTagSwapForward);
+        world_.internal_send(env.payload.data(), env.payload.size(), e.to,
+                             kTagSwapForward);
+      }
+    } else if (world_.rank() == e.to) {
+      std::uint64_t count = 0;
+      world_.internal_recv(reinterpret_cast<std::byte*>(&count), sizeof(count),
+                           e.from, kTagSwapForward);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        ForwardHeader header{};
+        world_.internal_recv(reinterpret_cast<std::byte*>(&header),
+                             sizeof(header), e.from, kTagSwapForward);
+        Envelope env;
+        env.context = header.context;
+        env.source = header.source;
+        env.tag = header.tag;
+        env.payload.resize(header.bytes);
+        world_.internal_recv(env.payload.data(), env.payload.size(), e.from,
+                             kTagSwapForward);
+        world_.runtime()
+            .mailbox(world_.world_rank(world_.rank()))
+            .deliver(std::move(env));
+      }
+    }
+  }
+}
+
+void SwapContext::apply_events(const std::vector<SwapEvent>& events) {
+  for (const SwapEvent& e : events) {
+    rank_of_slot_.at(static_cast<std::size_t>(e.slot)) = e.to;
+    if (world_.rank() == e.from) role_ = Role{.active = false, .slot = -1};
+    if (world_.rank() == e.to) role_ = Role{.active = true, .slot = e.slot};
+  }
+}
+
+}  // namespace swampi::swapx

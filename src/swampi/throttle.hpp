@@ -1,0 +1,63 @@
+// Deterministic external-load emulation for swampi ranks.
+//
+// The paper's testbed hosts slow down when other users' processes compete
+// for the CPU.  A Throttle gives each rank a scripted availability profile
+// (indexed by iteration/phase), standing in for that external load: the
+// rank's sustained speed is base_speed * availability(phase), and the time
+// an iteration's work "takes" follows.  Keeping the profile virtual — no
+// wall-clock sleeping required — makes swampi tests and examples fast and
+// reproducible; examples may still scale a real sleep from the same numbers
+// for demonstration.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace swampi {
+
+class Throttle {
+ public:
+  /// `availability_by_phase[i]` is the CPU fraction this rank gets during
+  /// phase i (1.0 = unloaded, 0.5 = one competitor, ...).  Phases past the
+  /// end of the profile repeat the last entry.
+  Throttle(double base_speed, std::vector<double> availability_by_phase)
+      : base_speed_(base_speed), profile_(std::move(availability_by_phase)) {
+    if (base_speed <= 0.0)
+      throw std::invalid_argument("Throttle: base speed must be positive");
+    if (profile_.empty())
+      throw std::invalid_argument("Throttle: empty availability profile");
+    for (double a : profile_)
+      if (a <= 0.0 || a > 1.0)
+        throw std::invalid_argument("Throttle: availability must be in (0, 1]");
+  }
+
+  /// Unloaded speed (flop/s or any consistent unit).
+  [[nodiscard]] double base_speed() const noexcept { return base_speed_; }
+
+  /// Advances to phase `i` (typically the iteration number).
+  void set_phase(std::size_t i) noexcept { phase_ = i; }
+  [[nodiscard]] std::size_t phase() const noexcept { return phase_; }
+
+  [[nodiscard]] double availability() const noexcept {
+    const std::size_t i = phase_ < profile_.size() ? phase_ : profile_.size() - 1;
+    return profile_[i];
+  }
+
+  /// Current sustained speed — suitable as a SwapConfig::speed_probe.
+  [[nodiscard]] double speed() const noexcept {
+    return base_speed_ * availability();
+  }
+
+  /// Time `work` units would take at the current speed.
+  [[nodiscard]] double time_for(double work) const noexcept {
+    return work / speed();
+  }
+
+ private:
+  double base_speed_;
+  std::vector<double> profile_;
+  std::size_t phase_ = 0;
+};
+
+}  // namespace swampi

@@ -1,0 +1,37 @@
+// swampi: a thread-per-rank, in-process MPI subset.
+//
+// swampi exists so the paper's *mechanism* — over-allocation, registered
+// process state, swap coordination at a full application barrier — runs as
+// real concurrent code rather than only inside the simulator.  Ranks are
+// threads of one process; messages are byte buffers moved between per-rank
+// mailboxes.  The subset covers what iterative data-parallel applications
+// need: blocking and nonblocking point-to-point, the usual collectives,
+// communicator split/dup, and the swap extension of the paper.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace swampi {
+
+using Rank = int;
+using Tag = int;
+
+inline constexpr Rank kAnySource = -1;
+inline constexpr Tag kAnyTag = -1;
+
+/// Tags at or above this value are reserved for library internals
+/// (collectives, communicator management, the swap protocol).
+inline constexpr Tag kReservedTagBase = 1 << 28;
+
+/// Delivered-message metadata, mirroring MPI_Status.
+struct Status {
+  Rank source = kAnySource;
+  Tag tag = kAnyTag;
+  std::size_t bytes = 0;
+};
+
+/// Built-in reduction operators.
+enum class Op : std::uint8_t { kSum, kMin, kMax, kProd };
+
+}  // namespace swampi

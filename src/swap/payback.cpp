@@ -1,0 +1,29 @@
+#include "swap/payback.hpp"
+
+#include <stdexcept>
+
+namespace simsweep::swap {
+
+double payback_distance(double swap_time_s, double old_iter_time_s,
+                        double old_perf, double new_perf) {
+  if (swap_time_s < 0.0)
+    throw std::invalid_argument("payback_distance: negative swap time");
+  if (old_iter_time_s <= 0.0)
+    throw std::invalid_argument("payback_distance: iteration time must be positive");
+  if (old_perf <= 0.0 || new_perf <= 0.0)
+    throw std::invalid_argument("payback_distance: performance must be positive");
+  const double gain = 1.0 - old_perf / new_perf;
+  if (gain == 0.0) return std::numeric_limits<double>::infinity();
+  return swap_time_s / (old_iter_time_s * gain);
+}
+
+double estimate_swap_time(double state_bytes, double latency_s,
+                          double bandwidth_Bps) {
+  if (state_bytes < 0.0)
+    throw std::invalid_argument("estimate_swap_time: negative state size");
+  if (latency_s < 0.0 || bandwidth_Bps <= 0.0)
+    throw std::invalid_argument("estimate_swap_time: invalid link parameters");
+  return latency_s + state_bytes / bandwidth_Bps;
+}
+
+}  // namespace simsweep::swap

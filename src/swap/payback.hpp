@@ -1,0 +1,34 @@
+// The paper's cost/benefit algebra (§5).
+//
+//   payback_distance = swap_time / (old_iter_time * (1 - old_perf/new_perf))
+//
+// the number of iterations, at the improved rate, needed for cumulative
+// progress to catch up with the no-swap trajectory.  Negative means the
+// "improvement" is actually a slowdown; larger positive values mean slower
+// amortization of the swap cost.
+#pragma once
+
+#include <limits>
+
+namespace simsweep::swap {
+
+/// Computes the payback distance in iterations.
+///
+/// `swap_time_s`     — time the application pauses for the state transfer.
+/// `old_iter_time_s` — application iteration time before the swap.
+/// `old_perf`        — performance of the process on its current host.
+/// `new_perf`        — predicted performance on the candidate host.
+/// Any positive, increasing performance measure works (the paper suggests
+/// flop rate).  Returns +infinity when new_perf == old_perf (the cost is
+/// never recouped) and a negative value when new_perf < old_perf.
+[[nodiscard]] double payback_distance(double swap_time_s,
+                                      double old_iter_time_s, double old_perf,
+                                      double new_perf);
+
+/// Time to move `state_bytes` of process state across a link with latency
+/// `latency_s` and (share of) bandwidth `bandwidth_Bps` (paper §5:
+/// swap_time = alpha + size / beta).
+[[nodiscard]] double estimate_swap_time(double state_bytes, double latency_s,
+                                        double bandwidth_Bps);
+
+}  // namespace simsweep::swap

@@ -1,0 +1,47 @@
+#include "swap/perf_history.hpp"
+
+#include <stdexcept>
+
+namespace simsweep::swap {
+
+void PerfHistory::record(sim::SimTime t, double value) {
+  if (!samples_.empty() && t < samples_.back().time - sim::kTimeEpsilon)
+    throw std::invalid_argument("PerfHistory: samples must be time-ordered");
+  samples_.push_back(sim::Sample{t, value});
+}
+
+double PerfHistory::windowed_mean(sim::SimTime now, double window_s,
+                                  double fallback) const {
+  if (samples_.empty()) return fallback;
+  if (window_s <= 0.0) return samples_.back().value;
+  const sim::SimTime t0 = now - window_s;
+  if (samples_.front().time >= now) return samples_.front().value;
+  // Step-series mean; before the first sample the series takes the first
+  // sample's value (we have no older information).
+  double area = 0.0;
+  double value = samples_.front().value;
+  sim::SimTime cursor = t0;
+  for (const sim::Sample& s : samples_) {
+    if (s.time <= t0) {
+      value = s.value;
+      continue;
+    }
+    if (s.time >= now) break;
+    area += value * (s.time - cursor);
+    cursor = s.time;
+    value = s.value;
+  }
+  area += value * (now - cursor);
+  return area / window_s;
+}
+
+double PerfHistory::latest(double fallback) const {
+  return samples_.empty() ? fallback : samples_.back().value;
+}
+
+void PerfHistory::prune_before(sim::SimTime horizon) {
+  while (samples_.size() > 1 && samples_[1].time <= horizon)
+    samples_.pop_front();
+}
+
+}  // namespace simsweep::swap

@@ -1,0 +1,110 @@
+#include "swap/planner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "swap/payback.hpp"
+
+namespace simsweep::swap {
+
+namespace {
+/// Speed floor applied inside plan_swaps so an offline host (estimate 0)
+/// compares as "infinitely slow" without breaking the payback division.
+constexpr double kSpeedFloor = 1e-6;
+}  // namespace
+
+/// Stand-in for an unbounded iteration time (offline bottleneck).
+constexpr double kTimeInfinityIter = std::numeric_limits<double>::infinity();
+
+double predict_iteration_time(const std::vector<ActiveProcess>& active,
+                              double comm_time_s) {
+  double bottleneck = 0.0;
+  for (const ActiveProcess& p : active) {
+    if (p.est_speed < 0.0)
+      throw std::invalid_argument("predict_iteration_time: negative speed");
+    // A zero estimate (offline/reclaimed host) stalls the iteration.
+    bottleneck = std::max(bottleneck, p.est_speed == 0.0
+                                          ? kTimeInfinityIter
+                                          : p.chunk_flops / p.est_speed);
+  }
+  return bottleneck + comm_time_s;
+}
+
+std::vector<SwapDecision> plan_swaps(const PolicyParams& policy,
+                                     std::vector<ActiveProcess> active,
+                                     std::vector<HostEstimate> spares,
+                                     const PlanContext& ctx) {
+  std::vector<SwapDecision> decisions;
+  if (active.empty() || spares.empty()) return decisions;
+  if (ctx.measured_iter_time_s <= 0.0) return decisions;  // nothing measured yet
+
+  for (ActiveProcess& p : active) p.est_speed = std::max(p.est_speed, kSpeedFloor);
+  for (HostEstimate& h : spares) h.est_speed = std::max(h.est_speed, kSpeedFloor);
+
+  const double swap_time =
+      ctx.fixed_swap_time_s > 0.0
+          ? ctx.fixed_swap_time_s
+          : estimate_swap_time(ctx.state_bytes, ctx.link_latency_s,
+                               ctx.link_bandwidth_Bps);
+
+  // Fastest spares first; consumed from the front.
+  std::stable_sort(spares.begin(), spares.end(),
+                   [](const HostEstimate& a, const HostEstimate& b) {
+                     return a.est_speed > b.est_speed;
+                   });
+  std::size_t next_spare = 0;
+
+  double current_iter_time = predict_iteration_time(active, ctx.comm_time_s);
+
+  while (decisions.size() < policy.max_swaps_per_decision &&
+         next_spare < spares.size()) {
+    // Slowest active process = the one predicted to take longest on its
+    // chunk (with equal chunks this is simply the slowest host).
+    auto slowest = std::max_element(
+        active.begin(), active.end(),
+        [](const ActiveProcess& a, const ActiveProcess& b) {
+          return a.chunk_flops / a.est_speed < b.chunk_flops / b.est_speed;
+        });
+    const HostEstimate& candidate = spares[next_spare];
+
+    if (candidate.est_speed <= slowest->est_speed) break;  // no faster spare
+
+    // Threshold 1: per-process improvement ("stiction").
+    const double process_gain =
+        candidate.est_speed / slowest->est_speed - 1.0;
+    if (process_gain < policy.min_process_improvement) break;
+
+    // Threshold 2: payback distance within the policy's risk budget.
+    const double payback =
+        payback_distance(swap_time, ctx.measured_iter_time_s,
+                         slowest->est_speed, candidate.est_speed);
+    if (payback < 0.0 || payback > policy.payback_threshold_iters) break;
+
+    // Threshold 3: whole-application improvement.  Compare predicted
+    // iteration rates before/after tentatively applying the swap.
+    std::vector<ActiveProcess> after = active;
+    after[static_cast<std::size_t>(slowest - active.begin())].est_speed =
+        candidate.est_speed;
+    after[static_cast<std::size_t>(slowest - active.begin())].host =
+        candidate.host;
+    const double new_iter_time = predict_iteration_time(after, ctx.comm_time_s);
+    const double app_gain = current_iter_time / new_iter_time - 1.0;
+    if (app_gain < policy.min_app_improvement) break;
+
+    decisions.push_back(SwapDecision{
+        .slot = slowest->slot,
+        .from = slowest->host,
+        .to = candidate.host,
+        .predicted_payback_iters = payback,
+        .predicted_process_gain = process_gain,
+        .predicted_app_gain = app_gain,
+    });
+
+    active = std::move(after);
+    current_iter_time = new_iter_time;
+    ++next_spare;
+  }
+  return decisions;
+}
+
+}  // namespace simsweep::swap

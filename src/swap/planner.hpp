@@ -1,0 +1,77 @@
+// Swap decision making, shared by the simulator strategies and the swampi
+// runtime's swap manager.
+//
+// The planner works on value types: callers provide the estimated effective
+// speed of every candidate host (from whatever predictor they have — the
+// simulator uses availability history, the swampi runtime uses measured
+// iteration rates), the measured application iteration time, and the state
+// size.  All three of the paper's policies (and any other PolicyParams
+// point) reduce to the same procedure: repeatedly propose swapping the
+// slowest active process onto the fastest idle spare, and accept the
+// proposal only when every threshold passes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "swap/policy.hpp"
+
+namespace simsweep::swap {
+
+/// A candidate execution site, identified by the caller's host numbering.
+struct HostEstimate {
+  std::uint32_t host = 0;
+  double est_speed = 0.0;  ///< predicted sustained flop/s for one process
+};
+
+/// One process currently executing: which slot of the work partition it
+/// owns, where it runs and how fast that site is predicted to be.
+struct ActiveProcess {
+  std::size_t slot = 0;
+  std::uint32_t host = 0;
+  double est_speed = 0.0;
+  double chunk_flops = 0.0;  ///< this slot's share of one iteration's work
+};
+
+/// A planned swap: move the process in `slot` from `from` to `to`.
+struct SwapDecision {
+  std::size_t slot = 0;
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  double predicted_payback_iters = 0.0;
+  double predicted_process_gain = 0.0;  ///< fractional speed gain
+  double predicted_app_gain = 0.0;      ///< fractional iteration-rate gain
+};
+
+/// Inputs the planner needs beyond the candidate sets.
+struct PlanContext {
+  double measured_iter_time_s = 0.0;  ///< last observed iteration time
+  double state_bytes = 0.0;           ///< per-process swap payload
+  double link_latency_s = 0.0;
+  double link_bandwidth_Bps = 1.0;
+  /// Fixed per-iteration communication-phase estimate added to predicted
+  /// iteration times (same before and after a swap, since the partition and
+  /// message sizes do not change).
+  double comm_time_s = 0.0;
+
+  /// When positive, overrides the alpha + size/beta swap-time estimate.
+  /// Checkpoint/restart uses this to charge its full write + restart + read
+  /// cost in the payback computation.
+  double fixed_swap_time_s = 0.0;
+};
+
+/// Plans zero or more swaps under `policy`.  `active` and `spares` are the
+/// current placement and the idle pool with their predicted speeds.  Spares
+/// freed by earlier decisions in the same round are not re-used; evicted
+/// hosts do not rejoin the spare pool within the round (the paper swaps
+/// "the slowest active processor(s) for the fastest inactive processor(s)").
+[[nodiscard]] std::vector<SwapDecision> plan_swaps(
+    const PolicyParams& policy, std::vector<ActiveProcess> active,
+    std::vector<HostEstimate> spares, const PlanContext& ctx);
+
+/// Predicted iteration time for a placement: the bottleneck compute time
+/// plus the communication estimate.
+[[nodiscard]] double predict_iteration_time(
+    const std::vector<ActiveProcess>& active, double comm_time_s);
+
+}  // namespace simsweep::swap

@@ -1,0 +1,30 @@
+#include "swap/policy.hpp"
+
+namespace simsweep::swap {
+
+PolicyParams greedy_policy() {
+  PolicyParams p;
+  p.name = "greedy";
+  // All defaults: infinite payback threshold, zero improvement thresholds,
+  // no history — swap on any indication of improvement.
+  return p;
+}
+
+PolicyParams safe_policy() {
+  PolicyParams p;
+  p.name = "safe";
+  p.payback_threshold_iters = 0.5;
+  p.min_process_improvement = 0.20;
+  p.history_window_s = 5.0 * 60.0;
+  return p;
+}
+
+PolicyParams friendly_policy() {
+  PolicyParams p;
+  p.name = "friendly";
+  p.min_app_improvement = 0.02;
+  p.history_window_s = 60.0;
+  return p;
+}
+
+}  // namespace simsweep::swap

@@ -1,0 +1,55 @@
+// Swapping-policy parameterization (paper §4.1) and the three named
+// policies of §4.2.
+//
+// A policy is a point in a four-dimensional parameter space:
+//   * payback threshold   — a proposed swap must recoup its cost within this
+//     many iterations (smaller = more risk-averse; infinity = any positive
+//     payback is acceptable),
+//   * minimum process improvement — predicted speed gain of the swapped
+//     process must exceed this fraction ("swap stiction"),
+//   * minimum application improvement — predicted whole-application speedup
+//     must exceed this fraction (avoids hoarding fast processors),
+//   * history window — how much performance history feeds the predictor
+//     (damps reaction to transient load; 0 = instantaneous measurements).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+
+namespace simsweep::swap {
+
+struct PolicyParams {
+  std::string name = "custom";
+
+  /// Maximum acceptable payback distance, in iterations.
+  double payback_threshold_iters = std::numeric_limits<double>::infinity();
+
+  /// Minimum fractional speed gain for the swapped process (0.2 = 20 %).
+  double min_process_improvement = 0.0;
+
+  /// Minimum fractional predicted application speedup (0.02 = 2 %).
+  double min_app_improvement = 0.0;
+
+  /// Seconds of performance history used by the predictor; 0 means use the
+  /// instantaneous measurement.
+  double history_window_s = 0.0;
+
+  /// Upper bound on processes swapped per decision point.
+  std::size_t max_swaps_per_decision = std::numeric_limits<std::size_t>::max();
+};
+
+/// Greedy (§4.2): swap on any indication of improvement.  Infinite payback
+/// threshold, no improvement thresholds, no history.
+[[nodiscard]] PolicyParams greedy_policy();
+
+/// Safe (§4.2): swap only when the benefit is significant and quickly
+/// recovered.  Payback threshold 0.5 iterations, 20 % minimum process
+/// improvement, 5 minutes of history.
+[[nodiscard]] PolicyParams safe_policy();
+
+/// Friendly (§4.2): do not hoard fast processors.  2 % minimum application
+/// improvement, 1 minute of history, no per-process threshold.
+[[nodiscard]] PolicyParams friendly_policy();
+
+}  // namespace simsweep::swap

@@ -1,0 +1,154 @@
+// Tests for the CLI flag parser and config builders.
+#include <gtest/gtest.h>
+
+#include "cli/args.hpp"
+#include "cli/config_build.hpp"
+#include "load/hyperexp.hpp"
+#include "load/onoff.hpp"
+#include "load/reclamation.hpp"
+
+namespace cli = simsweep::cli;
+
+TEST(Args, ParsesEqualsAndSpaceSeparatedFlags) {
+  cli::Args args({"--alpha=3.5", "--beta", "7", "--gamma"});
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 0.0), 3.5);
+  EXPECT_EQ(args.get_int("beta", 0), 7);
+  EXPECT_TRUE(args.get_bool("gamma"));
+  EXPECT_FALSE(args.get_bool("missing"));
+  EXPECT_TRUE(args.unused_flags().empty());
+}
+
+TEST(Args, PositionalArgumentsPreserveOrder) {
+  cli::Args args({"one", "--flag=x", "two"});
+  EXPECT_EQ(args.positional(), (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(Args, FallbacksWhenAbsent) {
+  cli::Args args({});
+  EXPECT_EQ(args.get_string("name", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(args.get_double("x", 1.5), 1.5);
+  EXPECT_EQ(args.get_int("n", -3), -3);
+  EXPECT_EQ(args.get_double_list("xs", {1.0, 2.0}),
+            (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Args, MalformedValuesThrow) {
+  cli::Args a({"--x=abc"});
+  EXPECT_THROW((void)a.get_double("x", 0.0), std::invalid_argument);
+  cli::Args b({"--n=1.5x"});
+  EXPECT_THROW((void)b.get_int("n", 0), std::invalid_argument);
+  cli::Args c({"--b=maybe"});
+  EXPECT_THROW((void)c.get_bool("b"), std::invalid_argument);
+  cli::Args d({"--xs=1,,2"});
+  EXPECT_THROW((void)d.get_double_list("xs", {}), std::invalid_argument);
+}
+
+TEST(Args, DoubleListParses) {
+  cli::Args args({"--points=0,0.5,1"});
+  EXPECT_EQ(args.get_double_list("points", {}),
+            (std::vector<double>{0.0, 0.5, 1.0}));
+}
+
+TEST(Args, UnusedFlagsAreReported) {
+  cli::Args args({"--used=1", "--typo=2"});
+  (void)args.get_int("used", 0);
+  EXPECT_EQ(args.unused_flags(), (std::vector<std::string>{"typo"}));
+  EXPECT_THROW(cli::reject_unused(args), std::invalid_argument);
+}
+
+TEST(Args, BooleanValueForms) {
+  cli::Args args({"--a=true", "--b=false", "--c=1", "--d=0"});
+  EXPECT_TRUE(args.get_bool("a"));
+  EXPECT_FALSE(args.get_bool("b"));
+  EXPECT_TRUE(args.get_bool("c"));
+  EXPECT_FALSE(args.get_bool("d"));
+}
+
+TEST(ConfigBuild, DefaultsMatchPaperPlatform) {
+  cli::Args args({});
+  const auto cfg = cli::build_config(args);
+  EXPECT_EQ(cfg.cluster.host_count, 32u);
+  EXPECT_EQ(cfg.app.active_processes, 4u);
+  EXPECT_EQ(cfg.spare_count, 28u);  // everything not active is a spare
+  EXPECT_EQ(cfg.app.iterations, 60u);
+  EXPECT_DOUBLE_EQ(cfg.app.state_bytes_per_process, simsweep::app::kMiB);
+}
+
+TEST(ConfigBuild, FlagsOverrideAndValidate) {
+  cli::Args args({"--hosts=16", "--active=8", "--spares=4", "--state-mb=100",
+                  "--seed=99"});
+  const auto cfg = cli::build_config(args);
+  EXPECT_EQ(cfg.cluster.host_count, 16u);
+  EXPECT_EQ(cfg.spare_count, 4u);
+  EXPECT_EQ(cfg.seed, 99u);
+  EXPECT_DOUBLE_EQ(cfg.app.state_bytes_per_process,
+                   100.0 * simsweep::app::kMiB);
+
+  cli::Args bad({"--hosts=4", "--active=4", "--spares=1"});
+  EXPECT_THROW((void)cli::build_config(bad), std::invalid_argument);
+}
+
+TEST(ConfigBuild, LoadModels) {
+  cli::Args onoff({"--model=onoff", "--dynamism=0.3"});
+  const auto m1 = cli::build_load_model(onoff);
+  const auto* onoff_model =
+      dynamic_cast<const simsweep::load::OnOffModel*>(m1.get());
+  ASSERT_NE(onoff_model, nullptr);
+  EXPECT_DOUBLE_EQ(onoff_model->params().p, 0.3);
+
+  cli::Args hyper({"--model=hyperexp", "--lifetime=150"});
+  const auto m2 = cli::build_load_model(hyper);
+  const auto* hyper_model =
+      dynamic_cast<const simsweep::load::HyperExpModel*>(m2.get());
+  ASSERT_NE(hyper_model, nullptr);
+  EXPECT_DOUBLE_EQ(hyper_model->params().mean_lifetime_s, 150.0);
+
+  cli::Args reclaim({"--model=reclaim", "--reclaim-min=5"});
+  const auto m3 = cli::build_load_model(reclaim);
+  const auto* reclaim_model =
+      dynamic_cast<const simsweep::load::ReclamationModel*>(m3.get());
+  ASSERT_NE(reclaim_model, nullptr);
+  EXPECT_DOUBLE_EQ(reclaim_model->params().mean_reclaimed_s, 300.0);
+
+  cli::Args bad({"--model=nope"});
+  EXPECT_THROW((void)cli::build_load_model(bad), std::invalid_argument);
+}
+
+TEST(ConfigBuild, Strategies) {
+  cli::Args none({"--strategy=none"});
+  EXPECT_EQ(cli::build_strategy(none)->name(), "NONE");
+
+  cli::Args swap({"--strategy=swap", "--policy=safe"});
+  EXPECT_EQ(cli::build_strategy(swap)->name(), "SWAP(safe)");
+
+  cli::Args dlb({"--strategy=dlb"});
+  EXPECT_EQ(cli::build_strategy(dlb)->name(), "DLB");
+
+  cli::Args cr({"--strategy=cr"});
+  EXPECT_EQ(cli::build_strategy(cr)->name(), "CR");
+
+  cli::Args bad({"--strategy=warp"});
+  EXPECT_THROW((void)cli::build_strategy(bad), std::invalid_argument);
+  cli::Args badpol({"--strategy=swap", "--policy=reckless"});
+  EXPECT_THROW((void)cli::build_strategy(badpol), std::invalid_argument);
+}
+
+TEST(ConfigBuild, PolicyOverridesApply) {
+  cli::Args args({"--strategy=swap", "--policy=greedy", "--payback=1.5",
+                  "--min-process=0.1", "--history=120"});
+  auto s = cli::build_strategy(args);
+  const auto* swap_s = dynamic_cast<simsweep::strategy::SwapStrategy*>(s.get());
+  ASSERT_NE(swap_s, nullptr);
+  EXPECT_DOUBLE_EQ(swap_s->policy().payback_threshold_iters, 1.5);
+  EXPECT_DOUBLE_EQ(swap_s->policy().min_process_improvement, 0.1);
+  EXPECT_DOUBLE_EQ(swap_s->policy().history_window_s, 120.0);
+}
+
+TEST(ConfigBuild, PredictorSelection) {
+  for (const char* p : {"window", "nws", "ewma", "median"}) {
+    cli::Args args({"--strategy=swap", std::string("--predictor=") + p});
+    EXPECT_NO_THROW((void)cli::build_strategy(args)) << p;
+  }
+  cli::Args bad({"--strategy=swap", "--predictor=psychic"});
+  EXPECT_THROW((void)cli::build_strategy(bad), std::invalid_argument);
+}

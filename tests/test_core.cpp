@@ -1,0 +1,131 @@
+// Tests for the experiment runner: determinism, trial statistics, reports.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiment.hpp"
+#include "load/misc_models.hpp"
+#include "load/onoff.hpp"
+#include "swap/policy.hpp"
+
+namespace core = simsweep::core;
+namespace load = simsweep::load;
+namespace strat = simsweep::strategy;
+namespace app = simsweep::app;
+
+namespace {
+
+core::ExperimentConfig small_config() {
+  core::ExperimentConfig cfg;
+  cfg.cluster.host_count = 8;
+  cfg.app = app::AppSpec::with_iteration_minutes(/*active=*/2, /*iterations=*/5,
+                                                 /*minutes=*/1.0);
+  cfg.app.comm_bytes_per_process = 10.0 * app::kKiB;
+  cfg.app.state_bytes_per_process = app::kMiB;
+  cfg.spare_count = 2;
+  cfg.seed = 42;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(RunSingle, DeterministicForSameSeed) {
+  const auto cfg = small_config();
+  load::OnOffModel model(load::OnOffParams::dynamism(0.3));
+  strat::NoneStrategy none;
+  const auto a = core::run_single(cfg, model, none);
+  const auto b = core::run_single(cfg, model, none);
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.iteration_times_s, b.iteration_times_s);
+}
+
+TEST(RunSingle, DifferentSeedsDiffer) {
+  auto cfg = small_config();
+  load::OnOffModel model(load::OnOffParams::dynamism(0.5));
+  strat::NoneStrategy none;
+  const auto a = core::run_single(cfg, model, none);
+  cfg.seed = 43;
+  const auto b = core::run_single(cfg, model, none);
+  EXPECT_NE(a.makespan_s, b.makespan_s);
+}
+
+TEST(RunSingle, QuiescentMakespanIsAnalytic) {
+  auto cfg = small_config();
+  cfg.cluster.explicit_speeds.assign(8, 300.0e6);
+  load::ConstantModel quiet(0);
+  strat::NoneStrategy none;
+  const auto r = core::run_single(cfg, quiet, none);
+  EXPECT_TRUE(r.finished);
+  // Startup 2 * 0.75 s + 5 iterations of (60 s compute + comm).
+  const double comm = 2.0 * 10.0 * app::kKiB / 6.0e6 + 1e-4;
+  EXPECT_NEAR(r.makespan_s, 1.5 + 5.0 * (60.0 + comm), 1e-6);
+}
+
+TEST(RunSingle, SwapNeverWorseThanNoneWhenQuiet) {
+  auto cfg = small_config();
+  load::ConstantModel quiet(0);
+  strat::NoneStrategy none;
+  strat::SwapStrategy swap{simsweep::swap::greedy_policy()};
+  const auto rn = core::run_single(cfg, quiet, none);
+  const auto rs = core::run_single(cfg, quiet, swap);
+  // Same compute; SWAP pays only the extra over-allocation startup.
+  EXPECT_NEAR(rs.makespan_s - rn.makespan_s,
+              0.75 * static_cast<double>(cfg.spare_count), 1e-9);
+  EXPECT_EQ(rs.adaptations, 0u);
+}
+
+TEST(RunSingle, HorizonCapsRunaways) {
+  auto cfg = small_config();
+  cfg.horizon_s = 10.0;  // far less than one iteration
+  load::ConstantModel quiet(0);
+  strat::NoneStrategy none;
+  const auto r = core::run_single(cfg, quiet, none);
+  EXPECT_FALSE(r.finished);
+  EXPECT_DOUBLE_EQ(r.makespan_s, 10.0);
+}
+
+TEST(RunTrials, StatisticsAreConsistent) {
+  auto cfg = small_config();
+  load::OnOffModel model(load::OnOffParams::dynamism(0.4));
+  strat::NoneStrategy none;
+  const auto stats = core::run_trials(cfg, model, none, 5);
+  EXPECT_EQ(stats.trials, 5u);
+  EXPECT_LE(stats.min, stats.mean);
+  EXPECT_LE(stats.mean, stats.max);
+  EXPECT_GE(stats.stddev, 0.0);
+  EXPECT_EQ(stats.unfinished, 0u);
+}
+
+TEST(RunTrials, MeanOfConstantRunsHasZeroStddev) {
+  auto cfg = small_config();
+  cfg.cluster.explicit_speeds.assign(8, 300.0e6);
+  load::ConstantModel quiet(0);
+  strat::NoneStrategy none;
+  const auto stats = core::run_trials(cfg, quiet, none, 3);
+  EXPECT_NEAR(stats.stddev, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(stats.min, stats.max);
+}
+
+TEST(RunTrials, RejectsZeroTrials) {
+  auto cfg = small_config();
+  load::ConstantModel quiet(0);
+  strat::NoneStrategy none;
+  EXPECT_THROW((void)core::run_trials(cfg, quiet, none, 0),
+               std::invalid_argument);
+}
+
+TEST(SeriesReport, PrintsTableAndCsv) {
+  core::SeriesReport rep;
+  rep.title = "demo";
+  rep.x_label = "x";
+  rep.x = {0.1, 0.2};
+  rep.series.push_back({"NONE", {100.0, 200.0}, {0.0, 0.0}});
+  rep.series.push_back({"SWAP", {90.0, 150.0}, {1.0, 2.0}});
+  std::ostringstream table, csv;
+  rep.print_table(table);
+  rep.print_csv(csv);
+  EXPECT_NE(table.str().find("NONE"), std::string::npos);
+  EXPECT_NE(table.str().find("demo"), std::string::npos);
+  EXPECT_EQ(csv.str().rfind("x,NONE,SWAP\n", 0), 0u);
+  EXPECT_NE(csv.str().find("0.2,200,150"), std::string::npos);
+}

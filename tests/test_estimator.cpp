@@ -1,0 +1,78 @@
+// Tests for the pluggable speed estimators.
+#include <gtest/gtest.h>
+
+#include "forecast/forecaster.hpp"
+#include "platform/host.hpp"
+#include "simcore/simulator.hpp"
+#include "strategy/estimator.hpp"
+
+namespace sim = simsweep::sim;
+namespace pf = simsweep::platform;
+namespace strat = simsweep::strategy;
+namespace fc = simsweep::forecast;
+
+TEST(WindowEstimator, MatchesPaperSemantics) {
+  sim::Simulator s;
+  pf::Host h(s, 0, 100.0, "h");
+  (void)s.after(10.0, [&] { h.set_external_load(1); });
+  (void)s.after(20.0, [] {});
+  s.run();
+  strat::WindowEstimator instantaneous(0.0);
+  strat::WindowEstimator windowed(20.0);
+  EXPECT_DOUBLE_EQ(instantaneous.estimate(h, 20.0), 50.0);
+  EXPECT_DOUBLE_EQ(windowed.estimate(h, 20.0), 75.0);
+  EXPECT_EQ(instantaneous.name(), "window_0s");
+}
+
+TEST(ForecastEstimator, LastValueTracksCurrentAvailability) {
+  sim::Simulator s;
+  pf::Host h(s, 0, 200.0, "h");
+  auto est = strat::make_forecast_estimator(
+      [] { return fc::make_last_value(); }, "lv");
+  EXPECT_DOUBLE_EQ(est->estimate(h, 0.0), 200.0);
+  h.set_external_load(3);
+  EXPECT_DOUBLE_EQ(est->estimate(h, 1.0), 50.0);
+  EXPECT_EQ(est->name(), "lv");
+}
+
+TEST(ForecastEstimator, EwmaLagsLoadChanges) {
+  sim::Simulator s;
+  pf::Host h(s, 0, 100.0, "h");
+  auto est = strat::make_forecast_estimator(
+      [] { return fc::make_ewma(100.0); }, "ewma");
+  // Feed history: unloaded for 100 s.
+  (void)s.after(100.0, [] {});
+  s.run();
+  EXPECT_NEAR(est->estimate(h, 100.0), 100.0, 1e-9);
+  h.set_external_load(9);  // availability drops to 0.1
+  // Immediately after the drop the EWMA barely moved.
+  const double just_after = est->estimate(h, 101.0);
+  EXPECT_GT(just_after, 50.0);
+  // Much later it converges to the new level.
+  const double later = est->estimate(h, 1000.0);
+  EXPECT_LT(later, 15.0);
+}
+
+TEST(ForecastEstimator, TracksHostsIndependently) {
+  sim::Simulator s;
+  pf::Host a(s, 0, 100.0, "a");
+  pf::Host b(s, 1, 100.0, "b");
+  auto est = strat::make_forecast_estimator(
+      [] { return fc::make_last_value(); }, "lv");
+  a.set_external_load(1);
+  EXPECT_DOUBLE_EQ(est->estimate(a, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(est->estimate(b, 1.0), 100.0);
+}
+
+TEST(ForecastEstimator, OfflineHostEstimatesNearZero) {
+  sim::Simulator s;
+  pf::Host h(s, 0, 100.0, "h");
+  auto est = strat::make_forecast_estimator(
+      [] { return fc::make_last_value(); }, "lv");
+  h.set_online(false);
+  EXPECT_DOUBLE_EQ(est->estimate(h, 1.0), 0.0);
+}
+
+TEST(ForecastEstimator, RejectsNullFactory) {
+  EXPECT_THROW(strat::ForecastEstimator(nullptr, "x"), std::invalid_argument);
+}

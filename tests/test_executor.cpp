@@ -1,0 +1,225 @@
+// Executor edge cases: interruption, validation, hooks, partitions.
+#include <gtest/gtest.h>
+
+#include "app/app_spec.hpp"
+#include "net/shared_link.hpp"
+#include "platform/cluster.hpp"
+#include "strategy/executor.hpp"
+
+namespace sim = simsweep::sim;
+namespace pf = simsweep::platform;
+namespace net = simsweep::net;
+namespace app = simsweep::app;
+namespace strat = simsweep::strategy;
+
+namespace {
+
+struct Rig {
+  sim::Simulator simulator;
+  sim::Rng rng{1};
+  std::unique_ptr<pf::Cluster> cluster;
+  std::unique_ptr<net::SharedLinkNetwork> network;
+
+  explicit Rig(std::vector<double> speeds) {
+    pf::ClusterSpec spec;
+    spec.host_count = speeds.size();
+    spec.explicit_speeds = std::move(speeds);
+    spec.startup_per_process_s = 0.0;
+    cluster = std::make_unique<pf::Cluster>(simulator, spec, rng);
+    network = std::make_unique<net::SharedLinkNetwork>(simulator, spec.link);
+  }
+
+  std::unique_ptr<strat::IterativeExecution> exec(
+      const app::AppSpec& spec, std::vector<pf::HostId> placement,
+      strat::IterativeExecution::BoundaryHook hook = {}) {
+    return std::make_unique<strat::IterativeExecution>(
+        simulator, *cluster, *network, spec, std::move(placement),
+        app::WorkPartition::equal(spec.active_processes), std::move(hook));
+  }
+};
+
+app::AppSpec spec_of(std::size_t active, std::size_t iters, double flops) {
+  app::AppSpec s;
+  s.active_processes = active;
+  s.iterations = iters;
+  s.work_per_iteration_flops = flops;
+  s.comm_bytes_per_process = 0.0;
+  return s;
+}
+
+}  // namespace
+
+TEST(ExecutorEdge, ConstructorValidatesEverything) {
+  Rig rig({100.0, 100.0});
+  const auto good = spec_of(2, 1, 100.0);
+  // Placement size mismatch.
+  EXPECT_THROW(strat::IterativeExecution(rig.simulator, *rig.cluster,
+                                         *rig.network, good, {0},
+                                         app::WorkPartition::equal(2), {}),
+               std::invalid_argument);
+  // Host out of range.
+  EXPECT_THROW(strat::IterativeExecution(rig.simulator, *rig.cluster,
+                                         *rig.network, good, {0, 9},
+                                         app::WorkPartition::equal(2), {}),
+               std::invalid_argument);
+  // Partition slot mismatch.
+  EXPECT_THROW(strat::IterativeExecution(rig.simulator, *rig.cluster,
+                                         *rig.network, good, {0, 1},
+                                         app::WorkPartition::equal(3), {}),
+               std::invalid_argument);
+  // Invalid app spec.
+  auto bad = good;
+  bad.work_per_iteration_flops = 0.0;
+  EXPECT_THROW(strat::IterativeExecution(rig.simulator, *rig.cluster,
+                                         *rig.network, bad, {0, 1},
+                                         app::WorkPartition::equal(2), {}),
+               std::invalid_argument);
+}
+
+TEST(ExecutorEdge, NegativeStartupRejected) {
+  Rig rig({100.0});
+  auto e = rig.exec(spec_of(1, 1, 100.0), {0});
+  EXPECT_THROW(e->start(-1.0), std::invalid_argument);
+}
+
+TEST(ExecutorEdge, MutatorValidation) {
+  Rig rig({100.0, 100.0});
+  auto e = rig.exec(spec_of(2, 1, 100.0), {0, 1});
+  EXPECT_THROW(e->move_process(5, 0), std::invalid_argument);
+  EXPECT_THROW(e->move_process(0, 7), std::invalid_argument);
+  EXPECT_THROW(e->set_placement({0}), std::invalid_argument);
+  EXPECT_THROW(e->set_placement({0, 9}), std::invalid_argument);
+  EXPECT_THROW(e->set_partition(app::WorkPartition::equal(3)),
+               std::invalid_argument);
+  EXPECT_THROW((void)e->last_iteration_time(), std::logic_error);
+}
+
+TEST(ExecutorEdge, AbortOutsideIterationThrows) {
+  Rig rig({100.0});
+  auto e = rig.exec(spec_of(1, 1, 100.0), {0});
+  EXPECT_THROW(e->abort_iteration(), std::logic_error);  // never started
+}
+
+TEST(ExecutorEdge, AbortAndRestartReRunsIteration) {
+  Rig rig({100.0});
+  auto e = rig.exec(spec_of(1, 2, 100.0), {0});
+  e->start(0.0);
+  // Abort the first iteration halfway, restart immediately: the iteration
+  // re-runs from scratch, so total time = 0.5 (lost) + 1 + 1.
+  (void)rig.simulator.after(0.5, [&] {
+    ASSERT_TRUE(e->iteration_in_flight());
+    e->abort_iteration();
+    EXPECT_FALSE(e->iteration_in_flight());
+    EXPECT_THROW(e->abort_iteration(), std::logic_error);  // already aborted
+    e->restart_iteration();
+    EXPECT_THROW(e->restart_iteration(), std::logic_error);  // running again
+  });
+  rig.simulator.run();
+  EXPECT_TRUE(e->done());
+  EXPECT_DOUBLE_EQ(e->result().makespan_s, 2.5);
+  EXPECT_DOUBLE_EQ(e->result().adaptation_overhead_s, 0.5);  // aborted span
+  ASSERT_EQ(e->result().iteration_times_s.size(), 2u);
+  EXPECT_DOUBLE_EQ(e->result().iteration_times_s[0], 1.0);
+}
+
+TEST(ExecutorEdge, IterationStartObserverFiresEveryStartAndRestart) {
+  Rig rig({100.0});
+  auto e = rig.exec(spec_of(1, 3, 100.0), {0});
+  int starts = 0;
+  e->set_iteration_start_observer([&](strat::IterativeExecution&) { ++starts; });
+  bool aborted = false;
+  (void)rig.simulator.after(0.25, [&] {
+    e->abort_iteration();
+    aborted = true;
+    e->restart_iteration();
+  });
+  e->start(0.0);
+  rig.simulator.run();
+  EXPECT_TRUE(aborted);
+  EXPECT_EQ(starts, 4);  // 3 iterations + 1 restart
+}
+
+TEST(ExecutorEdge, BoundaryHookRunsBetweenIterationsNotAfterLast) {
+  Rig rig({100.0});
+  int boundaries = 0;
+  auto hook = [&](strat::IterativeExecution&, std::function<void()> resume) {
+    ++boundaries;
+    resume();
+  };
+  auto e = rig.exec(spec_of(1, 4, 100.0), {0}, hook);
+  e->start(0.0);
+  rig.simulator.run();
+  EXPECT_EQ(boundaries, 3);  // n-1 boundaries for n iterations
+}
+
+TEST(ExecutorEdge, HookMayDelayResumptionWithSimulatedWork) {
+  Rig rig({100.0});
+  auto hook = [&](strat::IterativeExecution& exec,
+                  std::function<void()> resume) {
+    exec.result().adaptation_overhead_s += 2.0;
+    (void)rig.simulator.after(2.0, resume);
+  };
+  auto e = rig.exec(spec_of(1, 2, 100.0), {0}, hook);
+  e->start(0.0);
+  rig.simulator.run();
+  EXPECT_DOUBLE_EQ(e->result().makespan_s, 4.0);  // 1 + 2 pause + 1
+}
+
+TEST(ExecutorEdge, PlacementChangeAtBoundaryTakesEffect) {
+  Rig rig({100.0, 400.0});
+  auto hook = [&](strat::IterativeExecution& exec,
+                  std::function<void()> resume) {
+    exec.move_process(0, 1);  // jump to the 4x host
+    resume();
+  };
+  auto e = rig.exec(spec_of(1, 2, 400.0), {0}, hook);
+  e->start(0.0);
+  rig.simulator.run();
+  ASSERT_EQ(e->result().iteration_times_s.size(), 2u);
+  EXPECT_DOUBLE_EQ(e->result().iteration_times_s[0], 4.0);
+  EXPECT_DOUBLE_EQ(e->result().iteration_times_s[1], 1.0);
+}
+
+TEST(ExecutorEdge, PartitionChangeAtBoundaryTakesEffect) {
+  Rig rig({100.0, 100.0});
+  auto hook = [&](strat::IterativeExecution& exec,
+                  std::function<void()> resume) {
+    exec.set_partition(app::WorkPartition::proportional({3.0, 1.0}));
+    resume();
+  };
+  auto e = rig.exec(spec_of(2, 2, 200.0), {0, 1}, hook);
+  e->start(0.0);
+  rig.simulator.run();
+  // Iter 1 equal: 1 s.  Iter 2: slot 0 has 150 flops at 100 f/s = 1.5 s.
+  EXPECT_DOUBLE_EQ(e->result().iteration_times_s[1], 1.5);
+}
+
+TEST(WorkPartition, Validation) {
+  EXPECT_THROW((void)app::WorkPartition::equal(0), std::invalid_argument);
+  EXPECT_THROW((void)app::WorkPartition::proportional({}),
+               std::invalid_argument);
+  EXPECT_THROW((void)app::WorkPartition::proportional({1.0, -1.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)app::WorkPartition::proportional({0.0, 0.0}),
+               std::invalid_argument);
+  const auto p = app::WorkPartition::proportional({1.0, 3.0});
+  EXPECT_DOUBLE_EQ(p.fraction(0), 0.25);
+  EXPECT_DOUBLE_EQ(p.fraction(1), 0.75);
+  double total = 0.0;
+  for (double f : p.fractions()) total += f;
+  EXPECT_DOUBLE_EQ(total, 1.0);
+}
+
+TEST(AppSpec, ValidationAndHelpers) {
+  app::AppSpec s;
+  EXPECT_THROW(s.validate(), std::invalid_argument);  // zero work
+  s = app::AppSpec::with_iteration_minutes(4, 10, 2.0, 300.0e6);
+  EXPECT_NO_THROW(s.validate());
+  EXPECT_DOUBLE_EQ(s.work_per_iteration_flops, 2.0 * 60.0 * 300.0e6 * 4.0);
+  EXPECT_DOUBLE_EQ(s.equal_chunk(), 2.0 * 60.0 * 300.0e6);
+  s.active_processes = 0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s = app::AppSpec::with_iteration_minutes(1, 1, 1.0);
+  s.comm_bytes_per_process = -1.0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}

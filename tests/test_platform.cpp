@@ -1,0 +1,189 @@
+// Unit tests for hosts, compute tasks and the cluster builder.
+#include <gtest/gtest.h>
+
+#include "platform/cluster.hpp"
+#include "platform/host.hpp"
+#include "simcore/simulator.hpp"
+
+namespace sim = simsweep::sim;
+namespace pf = simsweep::platform;
+
+namespace {
+
+pf::ClusterSpec small_spec(std::vector<double> speeds) {
+  pf::ClusterSpec spec;
+  spec.host_count = speeds.size();
+  spec.explicit_speeds = std::move(speeds);
+  return spec;
+}
+
+}  // namespace
+
+TEST(Host, UnloadedComputeTakesWorkOverSpeed) {
+  sim::Simulator s;
+  pf::Host h(s, 0, 100.0, "h");
+  double done_at = -1.0;
+  auto task = h.start_compute(250.0, [&] { done_at = s.now(); });
+  s.run();
+  EXPECT_DOUBLE_EQ(done_at, 2.5);
+  EXPECT_FALSE(task->active());
+}
+
+TEST(Host, AvailabilityHalvesWithOneCompetitor) {
+  sim::Simulator s;
+  pf::Host h(s, 0, 100.0, "h");
+  h.set_external_load(1);
+  EXPECT_DOUBLE_EQ(h.availability(), 0.5);
+  EXPECT_DOUBLE_EQ(h.effective_speed(), 50.0);
+  double done_at = -1.0;
+  auto task = h.start_compute(100.0, [&] { done_at = s.now(); });
+  s.run();
+  EXPECT_DOUBLE_EQ(done_at, 2.0);
+}
+
+TEST(Host, MidTaskLoadChangeReplansCompletion) {
+  sim::Simulator s;
+  pf::Host h(s, 0, 100.0, "h");
+  double done_at = -1.0;
+  auto task = h.start_compute(200.0, [&] { done_at = s.now(); });
+  // After 1 s (100 flop done), one competitor arrives: remaining 100 flop at
+  // 50 flop/s takes 2 more seconds.
+  (void)s.after(1.0, [&] { h.set_external_load(1); });
+  s.run();
+  EXPECT_DOUBLE_EQ(done_at, 3.0);
+}
+
+TEST(Host, LoadDropSpeedsTaskUp) {
+  sim::Simulator s;
+  pf::Host h(s, 0, 100.0, "h");
+  h.set_external_load(3);  // quarter speed
+  double done_at = -1.0;
+  auto task = h.start_compute(100.0, [&] { done_at = s.now(); });
+  (void)s.after(2.0, [&] { h.set_external_load(0); });  // 50 done, 50 left at full
+  s.run();
+  EXPECT_DOUBLE_EQ(done_at, 2.5);
+}
+
+TEST(Host, TwoTasksShareTheCpu) {
+  sim::Simulator s;
+  pf::Host h(s, 0, 100.0, "h");
+  double first = -1.0, second = -1.0;
+  auto t1 = h.start_compute(100.0, [&] { first = s.now(); });
+  auto t2 = h.start_compute(100.0, [&] { second = s.now(); });
+  s.run();
+  // Both run at 50 flop/s while sharing; the first completion frees the
+  // whole CPU but both need the same work, so both end at t=2.
+  EXPECT_DOUBLE_EQ(first, 2.0);
+  EXPECT_DOUBLE_EQ(second, 2.0);
+}
+
+TEST(Host, SecondTaskFinishesFasterAfterFirstCompletes) {
+  sim::Simulator s;
+  pf::Host h(s, 0, 100.0, "h");
+  double first = -1.0, second = -1.0;
+  auto t1 = h.start_compute(50.0, [&] { first = s.now(); });
+  auto t2 = h.start_compute(150.0, [&] { second = s.now(); });
+  s.run();
+  // Shared until t=1 (each does 50).  Task 2 then has 100 left at full
+  // speed: finishes at t=2.
+  EXPECT_DOUBLE_EQ(first, 1.0);
+  EXPECT_DOUBLE_EQ(second, 2.0);
+}
+
+TEST(Host, CancelPreventsCompletion) {
+  sim::Simulator s;
+  pf::Host h(s, 0, 100.0, "h");
+  bool fired = false;
+  auto task = h.start_compute(100.0, [&] { fired = true; });
+  (void)s.after(0.5, [&] { task->cancel(); });
+  s.run();
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(task->active());
+  EXPECT_EQ(h.running_tasks(), 0u);
+}
+
+TEST(Host, ZeroWorkCompletesImmediately) {
+  sim::Simulator s;
+  pf::Host h(s, 0, 100.0, "h");
+  double done_at = -1.0;
+  auto task = h.start_compute(0.0, [&] { done_at = s.now(); });
+  s.run();
+  EXPECT_DOUBLE_EQ(done_at, 0.0);
+}
+
+TEST(Host, MeanAvailabilityIntegratesLoadHistory) {
+  sim::Simulator s;
+  pf::Host h(s, 0, 100.0, "h");
+  (void)s.after(1.0, [&] { h.set_external_load(1); });
+  (void)s.after(3.0, [&] { h.set_external_load(0); });
+  (void)s.after(4.0, [] {});
+  s.run();
+  // [0,1): avail 1; [1,3): 0.5; [3,4): 1  ->  mean over [0,4] = 3/4... wait:
+  // 1*1 + 0.5*2 + 1*1 = 3 over 4 seconds = 0.75.
+  EXPECT_DOUBLE_EQ(h.mean_availability(0.0, 4.0), 0.75);
+  EXPECT_DOUBLE_EQ(h.mean_availability(1.0, 3.0), 0.5);
+}
+
+TEST(Host, RejectsInvalidArguments) {
+  sim::Simulator s;
+  EXPECT_THROW(pf::Host(s, 0, 0.0, "bad"), std::invalid_argument);
+  pf::Host h(s, 0, 100.0, "h");
+  EXPECT_THROW(h.set_external_load(-1), std::invalid_argument);
+  EXPECT_THROW((void)h.start_compute(-5.0, [] {}), std::invalid_argument);
+}
+
+TEST(Cluster, ExplicitSpeedsAreUsed) {
+  sim::Simulator s;
+  sim::Rng rng(1);
+  pf::Cluster c(s, small_spec({300.0, 100.0, 200.0}), rng);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_DOUBLE_EQ(c.host(0).peak_speed(), 300.0);
+  EXPECT_DOUBLE_EQ(c.host(1).peak_speed(), 100.0);
+  EXPECT_DOUBLE_EQ(c.host(2).peak_speed(), 200.0);
+}
+
+TEST(Cluster, RandomSpeedsWithinRange) {
+  sim::Simulator s;
+  sim::Rng rng(7);
+  pf::ClusterSpec spec;
+  spec.host_count = 16;
+  spec.min_speed_flops = 100.0e6;
+  spec.max_speed_flops = 500.0e6;
+  pf::Cluster c(s, spec, rng);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_GE(c.host(static_cast<pf::HostId>(i)).peak_speed(), 100.0e6);
+    EXPECT_LT(c.host(static_cast<pf::HostId>(i)).peak_speed(), 500.0e6);
+  }
+}
+
+TEST(Cluster, SortsByEffectiveSpeed) {
+  sim::Simulator s;
+  sim::Rng rng(1);
+  pf::Cluster c(s, small_spec({300.0, 100.0, 200.0}), rng);
+  c.host(0).set_external_load(2);  // effective 100
+  const auto order = c.by_effective_speed();
+  EXPECT_EQ(order[0], 2u);  // 200
+  // host0 (eff 100) and host1 (eff 100) tie; stable order keeps host0 first.
+  EXPECT_EQ(order[1], 0u);
+  EXPECT_EQ(order[2], 1u);
+  const auto peak = c.by_peak_speed();
+  EXPECT_EQ(peak[0], 0u);
+}
+
+TEST(Cluster, StartupCostScalesWithProcesses) {
+  sim::Simulator s;
+  sim::Rng rng(1);
+  pf::Cluster c(s, small_spec({100.0, 100.0}), rng);
+  EXPECT_DOUBLE_EQ(c.startup_cost(30), 22.5);  // paper: ~20 s for 30 spares
+}
+
+TEST(Cluster, RejectsBadSpecs) {
+  sim::Simulator s;
+  sim::Rng rng(1);
+  pf::ClusterSpec spec;
+  spec.host_count = 0;
+  EXPECT_THROW(pf::Cluster(s, spec, rng), std::invalid_argument);
+  spec.host_count = 2;
+  spec.explicit_speeds = {1.0};
+  EXPECT_THROW(pf::Cluster(s, spec, rng), std::invalid_argument);
+}

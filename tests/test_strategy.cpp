@@ -1,0 +1,337 @@
+// Integration tests for the execution strategies on controlled platforms.
+#include <gtest/gtest.h>
+
+#include "app/app_spec.hpp"
+#include "load/misc_models.hpp"
+#include "load/onoff.hpp"
+#include "net/shared_link.hpp"
+#include "strategy/executor.hpp"
+#include "strategy/schedule.hpp"
+#include "strategy/strategy.hpp"
+
+namespace sim = simsweep::sim;
+namespace pf = simsweep::platform;
+namespace net = simsweep::net;
+namespace app = simsweep::app;
+namespace strat = simsweep::strategy;
+namespace swp = simsweep::swap;
+namespace load = simsweep::load;
+
+namespace {
+
+struct Fixture {
+  sim::Simulator simulator;
+  sim::Rng rng{1};
+  pf::ClusterSpec cluster_spec;
+  std::unique_ptr<pf::Cluster> cluster;
+  std::unique_ptr<net::SharedLinkNetwork> network;
+
+  explicit Fixture(std::vector<double> speeds,
+                   pf::LinkSpec link = {.latency_s = 0.0,
+                                        .bandwidth_Bps = 6.0e6}) {
+    cluster_spec.host_count = speeds.size();
+    cluster_spec.explicit_speeds = std::move(speeds);
+    cluster_spec.link = link;
+    cluster_spec.startup_per_process_s = 0.0;  // analytic tests: no startup
+    cluster = std::make_unique<pf::Cluster>(simulator, cluster_spec, rng);
+    network = std::make_unique<net::SharedLinkNetwork>(simulator, link);
+  }
+
+  strat::StrategyContext ctx(const app::AppSpec& spec,
+                             std::size_t spares = 0) {
+    return strat::StrategyContext{
+        .simulator = simulator,
+        .cluster = *cluster,
+        .network = *network,
+        .spec = spec,
+        .spare_count = spares,
+    };
+  }
+};
+
+app::AppSpec tiny_app(std::size_t active, std::size_t iters, double flops,
+                      double comm = 0.0, double state = 1.0e6) {
+  app::AppSpec spec;
+  spec.active_processes = active;
+  spec.iterations = iters;
+  spec.work_per_iteration_flops = flops;
+  spec.comm_bytes_per_process = comm;
+  spec.state_bytes_per_process = state;
+  return spec;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- executor/NONE
+
+TEST(Executor, HomogeneousIterationTiming) {
+  Fixture f({100.0, 100.0});
+  // 2 processes, 2 iterations, 200 flops/iter total -> 100 each -> 1 s/iter.
+  const auto spec = tiny_app(2, 2, 200.0);
+  strat::NoneStrategy none;
+  auto c = f.ctx(spec);
+  auto exec = none.launch(c);
+  f.simulator.run();
+  EXPECT_TRUE(exec->done());
+  EXPECT_DOUBLE_EQ(exec->result().makespan_s, 2.0);
+  ASSERT_EQ(exec->result().iteration_times_s.size(), 2u);
+  EXPECT_DOUBLE_EQ(exec->result().iteration_times_s[0], 1.0);
+  EXPECT_EQ(exec->result().adaptations, 0u);
+}
+
+TEST(Executor, SlowestProcessDictatesIterationTime) {
+  Fixture f({100.0, 50.0});
+  const auto spec = tiny_app(2, 1, 200.0);
+  strat::NoneStrategy none;
+  auto c = f.ctx(spec);
+  auto exec = none.launch(c);
+  f.simulator.run();
+  // Equal chunks of 100; the 50 flop/s host takes 2 s.
+  EXPECT_DOUBLE_EQ(exec->result().makespan_s, 2.0);
+}
+
+TEST(Executor, CommPhaseUsesSharedLink) {
+  Fixture f({100.0, 100.0}, {.latency_s = 0.0, .bandwidth_Bps = 100.0});
+  // 1 s compute + both processes send 100 B over a 100 B/s link = 2 s comm.
+  const auto spec = tiny_app(2, 1, 200.0, /*comm=*/100.0);
+  strat::NoneStrategy none;
+  auto c = f.ctx(spec);
+  auto exec = none.launch(c);
+  f.simulator.run();
+  EXPECT_DOUBLE_EQ(exec->result().makespan_s, 3.0);
+}
+
+TEST(Executor, SingleProcessSkipsCommPhase) {
+  Fixture f({100.0}, {.latency_s = 10.0, .bandwidth_Bps = 1.0});
+  const auto spec = tiny_app(1, 2, 100.0, /*comm=*/1000.0);
+  strat::NoneStrategy none;
+  auto c = f.ctx(spec);
+  auto exec = none.launch(c);
+  f.simulator.run();
+  EXPECT_DOUBLE_EQ(exec->result().makespan_s, 2.0);
+}
+
+TEST(Executor, StartupDelaysFirstIteration) {
+  Fixture f({100.0});
+  auto exec = std::make_unique<strat::IterativeExecution>(
+      f.simulator, *f.cluster, *f.network, tiny_app(1, 1, 100.0),
+      std::vector<pf::HostId>{0}, app::WorkPartition::equal(1),
+      strat::IterativeExecution::BoundaryHook{});
+  exec->start(5.0);
+  f.simulator.run();
+  EXPECT_DOUBLE_EQ(exec->result().makespan_s, 6.0);
+  EXPECT_DOUBLE_EQ(exec->result().startup_s, 5.0);
+}
+
+TEST(Executor, PicksFastestHostsInitially) {
+  Fixture f({50.0, 200.0, 100.0, 25.0});
+  const auto spec = tiny_app(2, 1, 200.0);
+  strat::NoneStrategy none;
+  auto c = f.ctx(spec);
+  auto exec = none.launch(c);
+  EXPECT_EQ(exec->placement(), (std::vector<pf::HostId>{1, 2}));
+  f.simulator.run();
+  // Equal chunks of 100 on hosts of 200 and 100 flop/s -> 1 s.
+  EXPECT_DOUBLE_EQ(exec->result().makespan_s, 1.0);
+}
+
+// ------------------------------------------------------------------- DLB
+
+TEST(Dlb, BalancesHeterogeneousSpeeds) {
+  Fixture f({300.0, 100.0});
+  const auto spec = tiny_app(2, 4, 400.0);
+  strat::DlbStrategy dlb;
+  auto c = f.ctx(spec);
+  auto exec = dlb.launch(c);
+  f.simulator.run();
+  // Proportional chunks: 300 and 100 flops -> both take exactly 1 s.
+  EXPECT_DOUBLE_EQ(exec->result().makespan_s, 4.0);
+  EXPECT_EQ(exec->result().adaptations, 3u);  // one repartition per boundary
+}
+
+TEST(Dlb, BeatsNoneOnHeterogeneousPlatform) {
+  Fixture f_dlb({300.0, 100.0});
+  Fixture f_none({300.0, 100.0});
+  const auto spec = tiny_app(2, 4, 400.0);
+  strat::DlbStrategy dlb;
+  strat::NoneStrategy none;
+  auto c1 = f_dlb.ctx(spec);
+  auto c2 = f_none.ctx(spec);
+  auto e1 = dlb.launch(c1);
+  auto e2 = none.launch(c2);
+  f_dlb.simulator.run();
+  f_none.simulator.run();
+  // NONE: equal chunks of 200 -> slow host takes 2 s/iter.
+  EXPECT_DOUBLE_EQ(e2->result().makespan_s, 8.0);
+  EXPECT_LT(e1->result().makespan_s, e2->result().makespan_s);
+}
+
+TEST(Dlb, AdaptsWhenLoadArrivesMidRun) {
+  Fixture f({100.0, 100.0});
+  const auto spec = tiny_app(2, 2, 200.0);
+  // Host 0 becomes loaded during iteration 1; DLB rebalances at the
+  // boundary so iteration 2 gives it less work.
+  (void)f.simulator.after(0.5, [&] { f.cluster->host(0).set_external_load(1); });
+  strat::DlbStrategy dlb;
+  auto c = f.ctx(spec);
+  auto exec = dlb.launch(c);
+  f.simulator.run();
+  // Iter 1: host0 does 50 flops by t=.5 then 50 at 50 f/s -> ends 1.5 s.
+  // Boundary: speeds (50, 100) -> chunks (66.67, 133.3): both ~1.33 s.
+  ASSERT_EQ(exec->result().iteration_times_s.size(), 2u);
+  EXPECT_DOUBLE_EQ(exec->result().iteration_times_s[0], 1.5);
+  EXPECT_NEAR(exec->result().iteration_times_s[1], 4.0 / 3.0, 1e-9);
+}
+
+// ------------------------------------------------------------------ SWAP
+
+TEST(Swap, MovesOffLoadedHostAndNoneDoesNot) {
+  // Two fast hosts + one spare.  Host 0 becomes fully loaded after start.
+  Fixture f({100.0, 100.0, 100.0});
+  auto spec = tiny_app(2, 10, 200.0);
+  spec.state_bytes_per_process = 6.0e6;  // 1 s transfer at 6 MB/s
+  (void)f.simulator.after(0.5, [&] { f.cluster->host(0).set_external_load(3); });
+
+  strat::SwapStrategy swap{swp::greedy_policy()};
+  auto c = f.ctx(spec, /*spares=*/1);
+  auto exec = swap.launch(c);
+  f.simulator.run();
+  EXPECT_TRUE(exec->done());
+  EXPECT_GE(exec->result().adaptations, 1u);
+  // After the swap the placement no longer contains host 0.
+  for (pf::HostId h : exec->placement()) EXPECT_NE(h, 0u);
+  EXPECT_GT(exec->result().adaptation_overhead_s, 0.0);
+
+  // NONE on the same scenario is slower: it keeps computing at 25 flop/s.
+  Fixture f2({100.0, 100.0, 100.0});
+  (void)f2.simulator.after(0.5,
+                           [&] { f2.cluster->host(0).set_external_load(3); });
+  strat::NoneStrategy none;
+  auto c2 = f2.ctx(spec);
+  auto e2 = none.launch(c2);
+  f2.simulator.run();
+  EXPECT_LT(exec->result().makespan_s, e2->result().makespan_s);
+}
+
+TEST(Swap, NoSwapsOnQuietPlatform) {
+  Fixture f({100.0, 100.0, 100.0, 100.0});
+  const auto spec = tiny_app(2, 5, 200.0);
+  strat::SwapStrategy swap{swp::greedy_policy()};
+  auto c = f.ctx(spec, 2);
+  auto exec = swap.launch(c);
+  f.simulator.run();
+  EXPECT_EQ(exec->result().adaptations, 0u);
+  EXPECT_DOUBLE_EQ(exec->result().makespan_s, 5.0);
+}
+
+TEST(Swap, MatchesNoneWhenNoSpares) {
+  Fixture f({100.0, 80.0});
+  const auto spec = tiny_app(2, 5, 200.0);
+  strat::SwapStrategy swap{swp::greedy_policy()};
+  strat::NoneStrategy none;
+  auto c1 = f.ctx(spec, 0);
+  auto e1 = swap.launch(c1);
+  f.simulator.run();
+  Fixture f2({100.0, 80.0});
+  auto c2 = f2.ctx(spec, 0);
+  auto e2 = none.launch(c2);
+  f2.simulator.run();
+  EXPECT_DOUBLE_EQ(e1->result().makespan_s, e2->result().makespan_s);
+}
+
+TEST(Swap, SafePolicyDeclinesMarginalSwap) {
+  // Spare is only 10 % faster: safe (20 % stiction) declines while greedy
+  // accepts.  Host 2 starts loaded so the initial schedule leaves it spare,
+  // then unloads shortly after start.
+  const auto spec = tiny_app(2, 5, 200.0);
+  auto run = [&](strat::Strategy& s) {
+    Fixture f({100.0, 100.0, 110.0});
+    f.cluster->host(2).set_external_load(1);  // effective 55 at startup
+    (void)f.simulator.after(0.5,
+                            [&] { f.cluster->host(2).set_external_load(0); });
+    auto c = f.ctx(spec, 1);
+    auto exec = s.launch(c);
+    f.simulator.run();
+    return exec->result().adaptations;
+  };
+  strat::SwapStrategy safe{swp::safe_policy()};
+  strat::SwapStrategy greedy{swp::greedy_policy()};
+  EXPECT_EQ(run(safe), 0u);
+  EXPECT_GE(run(greedy), 1u);
+}
+
+TEST(Swap, StateSizeDrivesOverhead) {
+  Fixture f({100.0, 100.0, 100.0});
+  auto spec = tiny_app(2, 6, 200.0);
+  spec.state_bytes_per_process = 12.0e6;  // 2 s at 6 MB/s
+  (void)f.simulator.after(0.2, [&] { f.cluster->host(1).set_external_load(9); });
+  strat::SwapStrategy swap{swp::greedy_policy()};
+  auto c = f.ctx(spec, 1);
+  auto exec = swap.launch(c);
+  f.simulator.run();
+  ASSERT_GE(exec->result().adaptations, 1u);
+  EXPECT_GE(exec->result().adaptation_overhead_s, 2.0);
+}
+
+// -------------------------------------------------------------------- CR
+
+TEST(Cr, RestartsOntoFasterProcessors) {
+  Fixture f({100.0, 100.0, 100.0});
+  auto spec = tiny_app(2, 10, 200.0);
+  spec.state_bytes_per_process = 6.0e5;  // 0.1 s/flow
+  (void)f.simulator.after(0.5, [&] { f.cluster->host(0).set_external_load(3); });
+  strat::CrStrategy cr{swp::greedy_policy()};
+  auto c = f.ctx(spec, 1);
+  auto exec = cr.launch(c);
+  f.simulator.run();
+  EXPECT_TRUE(exec->done());
+  EXPECT_GE(exec->result().adaptations, 1u);
+  for (pf::HostId h : exec->placement()) EXPECT_NE(h, 0u);
+}
+
+TEST(Cr, ChargesWriteRestartReadCosts) {
+  pf::LinkSpec link{.latency_s = 0.0, .bandwidth_Bps = 6.0e6};
+  Fixture f({100.0, 100.0, 100.0}, link);
+  auto spec = tiny_app(2, 3, 200.0);
+  spec.state_bytes_per_process = 6.0e6;  // 1 s alone; 2 s when 2 flows share
+  (void)f.simulator.after(0.2, [&] { f.cluster->host(1).set_external_load(9); });
+  strat::CrStrategy cr{swp::greedy_policy()};
+  auto c = f.ctx(spec, 1);
+  auto exec = cr.launch(c);
+  f.simulator.run();
+  ASSERT_GE(exec->result().adaptations, 1u);
+  // Each restart: 2 concurrent 1-s writes (2 s) + 2 concurrent reads (2 s).
+  EXPECT_GE(exec->result().adaptation_overhead_s, 4.0);
+}
+
+// ------------------------------------------------------- shared helpers
+
+TEST(Schedule, PickAllocationSplitsActiveAndSpares) {
+  Fixture f({50.0, 200.0, 100.0, 25.0});
+  const auto alloc = strat::pick_allocation(*f.cluster, 2, 1);
+  EXPECT_EQ(alloc.active, (std::vector<pf::HostId>{1, 2}));
+  EXPECT_EQ(alloc.spares, (std::vector<pf::HostId>{0}));
+  EXPECT_EQ(alloc.total(), 3u);
+  EXPECT_THROW((void)strat::pick_allocation(*f.cluster, 4, 1),
+               std::invalid_argument);
+}
+
+TEST(Schedule, EstimateSpeedUsesHistoryWindow) {
+  Fixture f({100.0});
+  auto& host = f.cluster->host(0);
+  (void)f.simulator.after(10.0, [&] { host.set_external_load(1); });
+  (void)f.simulator.after(20.0, [] {});
+  f.simulator.run();
+  // Instantaneous: loaded -> 50.  Windowed over the last 20 s: 10 s at 100 +
+  // 10 s at 50 -> 75.
+  EXPECT_DOUBLE_EQ(strat::estimate_speed(host, 20.0, 0.0), 50.0);
+  EXPECT_DOUBLE_EQ(strat::estimate_speed(host, 20.0, 20.0), 75.0);
+}
+
+TEST(Schedule, EstimateCommTime) {
+  app::AppSpec spec = tiny_app(4, 1, 100.0, /*comm=*/1.5e6);
+  pf::LinkSpec link{.latency_s = 0.1, .bandwidth_Bps = 6.0e6};
+  EXPECT_DOUBLE_EQ(strat::estimate_comm_time(spec, link), 0.1 + 1.0);
+  spec.active_processes = 1;
+  EXPECT_DOUBLE_EQ(strat::estimate_comm_time(spec, link), 0.0);
+}

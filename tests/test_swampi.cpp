@@ -1,0 +1,273 @@
+// Tests for the swampi runtime: point-to-point, collectives, split, requests.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "swampi/comm.hpp"
+#include "swampi/runtime.hpp"
+#include "swampi/throttle.hpp"
+
+using swampi::Comm;
+using swampi::Op;
+using swampi::Runtime;
+
+TEST(Runtime, RanksSeeTheirIds) {
+  Runtime rt(4);
+  std::vector<int> seen(4, -1);
+  rt.run([&](Comm& world) {
+    seen[static_cast<std::size_t>(world.rank())] = world.rank();
+    EXPECT_EQ(world.size(), 4);
+  });
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Runtime, RejectsNonPositiveWorld) {
+  EXPECT_THROW(Runtime(0), std::invalid_argument);
+  EXPECT_THROW(Runtime(-2), std::invalid_argument);
+}
+
+TEST(Runtime, PropagatesRankExceptions) {
+  Runtime rt(2);
+  EXPECT_THROW(rt.run([](Comm& world) {
+                 world.barrier();
+                 if (world.rank() == 1) throw std::runtime_error("boom");
+               }),
+               std::runtime_error);
+}
+
+TEST(PointToPoint, SendRecvValue) {
+  Runtime rt(2);
+  rt.run([](Comm& world) {
+    if (world.rank() == 0) {
+      world.send_value(123, 1, /*tag=*/7);
+    } else {
+      EXPECT_EQ(world.recv_value<int>(0, 7), 123);
+    }
+  });
+}
+
+TEST(PointToPoint, ArraysRoundTrip) {
+  Runtime rt(2);
+  rt.run([](Comm& world) {
+    std::vector<double> data(100);
+    if (world.rank() == 0) {
+      std::iota(data.begin(), data.end(), 0.0);
+      world.send(data.data(), data.size(), 1, 1);
+    } else {
+      world.recv(data.data(), data.size(), 0, 1);
+      for (std::size_t i = 0; i < data.size(); ++i)
+        EXPECT_DOUBLE_EQ(data[i], static_cast<double>(i));
+    }
+  });
+}
+
+TEST(PointToPoint, AnySourceAndAnyTag) {
+  Runtime rt(3);
+  rt.run([](Comm& world) {
+    if (world.rank() != 0) {
+      world.send_value(world.rank() * 10, 0, world.rank());
+    } else {
+      int sum = 0;
+      for (int i = 0; i < 2; ++i) {
+        std::vector<std::byte> buf;
+        const swampi::Status st =
+            world.recv_bytes(buf, swampi::kAnySource, swampi::kAnyTag);
+        int v;
+        std::memcpy(&v, buf.data(), sizeof v);
+        EXPECT_EQ(st.tag, st.source);  // tag was sender's rank
+        sum += v;
+      }
+      EXPECT_EQ(sum, 30);
+    }
+  });
+}
+
+TEST(PointToPoint, NonOvertakingBetweenSamePair) {
+  Runtime rt(2);
+  rt.run([](Comm& world) {
+    if (world.rank() == 0) {
+      for (int i = 0; i < 50; ++i) world.send_value(i, 1, 3);
+    } else {
+      for (int i = 0; i < 50; ++i) EXPECT_EQ(world.recv_value<int>(0, 3), i);
+    }
+  });
+}
+
+TEST(PointToPoint, MismatchedSizeThrows) {
+  Runtime rt(2);
+  EXPECT_THROW(rt.run([](Comm& world) {
+                 if (world.rank() == 0) {
+                   world.send_value<int>(1, 1, 0);
+                   double d;
+                   world.recv(&d, 1, 1, 0);  // expects 8 B, gets 4
+                 } else {
+                   world.send_value<int>(1, 0, 0);
+                   int v;
+                   world.recv(&v, 1, 0, 0);
+                 }
+               }),
+               std::runtime_error);
+}
+
+TEST(PointToPoint, UserTagsMustBeInRange) {
+  Runtime rt(1);
+  rt.run([](Comm& world) {
+    int v = 0;
+    EXPECT_THROW(world.send(&v, 1, 0, swampi::kReservedTagBase),
+                 std::invalid_argument);
+    EXPECT_THROW(world.send(&v, 1, 0, -3), std::invalid_argument);
+  });
+}
+
+TEST(Requests, IsendIrecvWait) {
+  Runtime rt(2);
+  rt.run([](Comm& world) {
+    if (world.rank() == 0) {
+      int v = 77;
+      swampi::Request r = world.isend(&v, 1, 1, 5);
+      EXPECT_TRUE(r.test());
+      (void)r.wait();
+    } else {
+      int v = 0;
+      swampi::Request r = world.irecv(&v, 1, 0, 5);
+      const swampi::Status st = r.wait();
+      EXPECT_EQ(v, 77);
+      EXPECT_EQ(st.bytes, sizeof(int));
+      EXPECT_TRUE(r.test());
+    }
+  });
+}
+
+TEST(Collectives, BarrierSynchronizes) {
+  Runtime rt(8);
+  std::atomic<int> before{0}, after{0};
+  rt.run([&](Comm& world) {
+    ++before;
+    world.barrier();
+    EXPECT_EQ(before.load(), 8);
+    ++after;
+  });
+  EXPECT_EQ(after.load(), 8);
+}
+
+TEST(Collectives, BcastFromEachRoot) {
+  Runtime rt(4);
+  rt.run([](Comm& world) {
+    for (int root = 0; root < world.size(); ++root) {
+      int v = world.rank() == root ? 100 + root : -1;
+      world.bcast(&v, 1, root);
+      EXPECT_EQ(v, 100 + root);
+    }
+  });
+}
+
+TEST(Collectives, ReduceSumAtRoot) {
+  Runtime rt(5);
+  rt.run([](Comm& world) {
+    const double mine = static_cast<double>(world.rank() + 1);
+    double out = 0.0;
+    world.reduce(&mine, &out, 1, Op::kSum, 0);
+    if (world.rank() == 0) { EXPECT_DOUBLE_EQ(out, 15.0); }
+  });
+}
+
+TEST(Collectives, AllreduceAllOps) {
+  Runtime rt(4);
+  rt.run([](Comm& world) {
+    const int mine = world.rank() + 1;  // 1..4
+    EXPECT_EQ(world.allreduce_value(mine, Op::kSum), 10);
+    EXPECT_EQ(world.allreduce_value(mine, Op::kMin), 1);
+    EXPECT_EQ(world.allreduce_value(mine, Op::kMax), 4);
+    EXPECT_EQ(world.allreduce_value(mine, Op::kProd), 24);
+  });
+}
+
+TEST(Collectives, GatherCollectsInRankOrder) {
+  Runtime rt(4);
+  rt.run([](Comm& world) {
+    const int mine = world.rank() * world.rank();
+    std::vector<int> all(4, -1);
+    world.gather(&mine, 1, all.data(), 2);
+    if (world.rank() == 2) { EXPECT_EQ(all, (std::vector<int>{0, 1, 4, 9})); }
+  });
+}
+
+TEST(Collectives, AllgatherGivesEveryoneEverything) {
+  Runtime rt(3);
+  rt.run([](Comm& world) {
+    const std::array<int, 2> mine{world.rank(), 10 * world.rank()};
+    std::vector<int> all(6, -1);
+    world.allgather(mine.data(), 2, all.data());
+    EXPECT_EQ(all, (std::vector<int>{0, 0, 1, 10, 2, 20}));
+  });
+}
+
+TEST(Collectives, ScatterDistributesChunks) {
+  Runtime rt(3);
+  rt.run([](Comm& world) {
+    std::vector<int> all{10, 11, 20, 21, 30, 31};
+    std::array<int, 2> mine{-1, -1};
+    world.scatter(world.rank() == 1 ? all.data() : nullptr, 2, mine.data(), 1);
+    EXPECT_EQ(mine[0], 10 * (world.rank() + 1));
+    EXPECT_EQ(mine[1], 10 * (world.rank() + 1) + 1);
+  });
+}
+
+TEST(Split, GroupsByColorOrdersByKey) {
+  Runtime rt(6);
+  rt.run([](Comm& world) {
+    // Evens and odds; key reverses rank order within each group.
+    const int color = world.rank() % 2;
+    Comm sub = world.split(color, -world.rank());
+    EXPECT_EQ(sub.size(), 3);
+    // Highest world rank gets sub-rank 0.
+    const int expected =
+        (world.size() - 2 + color - world.rank()) / 2;
+    EXPECT_EQ(sub.rank(), expected);
+    // The subcommunicator works: reduce ranks.
+    const int sum = sub.allreduce_value(world.rank(), Op::kSum);
+    EXPECT_EQ(sum, color == 0 ? 0 + 2 + 4 : 1 + 3 + 5);
+  });
+}
+
+TEST(Split, DupPreservesStructure) {
+  Runtime rt(4);
+  rt.run([](Comm& world) {
+    Comm copy = world.dup();
+    EXPECT_EQ(copy.size(), world.size());
+    EXPECT_EQ(copy.rank(), world.rank());
+    // Traffic on the duplicate does not collide with the original.
+    if (copy.rank() == 0) {
+      copy.send_value(1, 1, 9);
+      world.send_value(2, 1, 9);
+    } else if (copy.rank() == 1) {
+      EXPECT_EQ(world.recv_value<int>(0, 9), 2);
+      EXPECT_EQ(copy.recv_value<int>(0, 9), 1);
+    }
+  });
+}
+
+TEST(Split, SubCommunicatorRanksMapToWorld) {
+  Runtime rt(4);
+  rt.run([](Comm& world) {
+    Comm sub = world.split(world.rank() < 2 ? 0 : 1, world.rank());
+    EXPECT_EQ(sub.world_rank(sub.rank()), world.rank());
+  });
+}
+
+TEST(Throttle, ProfilesAndClamping) {
+  swampi::Throttle t(100.0, {1.0, 0.5, 0.25});
+  EXPECT_DOUBLE_EQ(t.speed(), 100.0);
+  t.set_phase(1);
+  EXPECT_DOUBLE_EQ(t.speed(), 50.0);
+  EXPECT_DOUBLE_EQ(t.time_for(100.0), 2.0);
+  t.set_phase(99);  // past the profile: repeats the last entry
+  EXPECT_DOUBLE_EQ(t.availability(), 0.25);
+  EXPECT_THROW(swampi::Throttle(0.0, {1.0}), std::invalid_argument);
+  EXPECT_THROW(swampi::Throttle(1.0, {}), std::invalid_argument);
+  EXPECT_THROW(swampi::Throttle(1.0, {1.5}), std::invalid_argument);
+}

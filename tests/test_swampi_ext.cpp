@@ -1,0 +1,188 @@
+// Tests for the swampi extensions: message forwarding across swaps (the
+// paper's "improved system") and application-level checkpointing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "swampi/checkpoint_ext.hpp"
+#include "swampi/runtime.hpp"
+#include "swampi/swap_ext.hpp"
+
+using swampi::Comm;
+using swampi::Runtime;
+namespace swapx = swampi::swapx;
+namespace policy = simsweep::swap;
+
+namespace {
+
+swapx::SwapConfig two_active_slow_rank1(bool forward) {
+  swapx::SwapConfig cfg;
+  cfg.active_count = 2;
+  cfg.forward_pending_messages = forward;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(MailboxDrain, RemovesOnlyRequestedContext) {
+  swampi::Mailbox box;
+  box.deliver({.context = 0, .source = 1, .tag = 5, .payload = {}});
+  box.deliver({.context = 7, .source = 2, .tag = 6, .payload = {}});
+  box.deliver({.context = 0, .source = 3, .tag = 7, .payload = {}});
+  const auto drained = box.drain_context(0);
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].source, 1);  // arrival order preserved
+  EXPECT_EQ(drained[1].source, 3);
+  EXPECT_TRUE(box.probe(7, swampi::kAnySource, swampi::kAnyTag));
+  EXPECT_FALSE(box.probe(0, swampi::kAnySource, swampi::kAnyTag));
+}
+
+TEST(MessageForwarding, PendingMessageFollowsTheProcess) {
+  // Rank 0 sends a message to rank 1 (slot 1's current home) that slot 1
+  // only reads *after* the swap point.  With forwarding, the message is
+  // waiting at rank 2, the slot's new home.
+  Runtime rt(3);
+  std::atomic<int> received_on{-1}, value{0};
+  rt.run([&](Comm& world) {
+    auto cfg = two_active_slow_rank1(/*forward=*/true);
+    cfg.speed_probe = [&world] { return world.rank() == 1 ? 10.0 : 100.0; };
+    swapx::SwapContext ctx(world, cfg);
+
+    if (world.rank() == 0) world.send_value(1234, 1, /*tag=*/17);
+
+    const swapx::Role role = ctx.swap_point(10.0);  // swaps slot 1 -> rank 2
+    ASSERT_EQ(ctx.last_events().size(), 1u);
+    EXPECT_EQ(ctx.last_events()[0].to, 2);
+
+    if (role.active && role.slot == 1) {
+      received_on = world.rank();
+      value = world.recv_value<int>(0, 17);
+    }
+  });
+  EXPECT_EQ(received_on.load(), 2);
+  EXPECT_EQ(value.load(), 1234);
+}
+
+TEST(MessageForwarding, DisabledLeavesMessageAtOldRank) {
+  Runtime rt(3);
+  std::atomic<bool> at_old{false}, at_new{false};
+  rt.run([&](Comm& world) {
+    auto cfg = two_active_slow_rank1(/*forward=*/false);
+    cfg.speed_probe = [&world] { return world.rank() == 1 ? 10.0 : 100.0; };
+    swapx::SwapContext ctx(world, cfg);
+    if (world.rank() == 0) world.send_value(1, 1, 17);
+    (void)ctx.swap_point(10.0);
+    if (world.rank() == 1)
+      at_old = world.runtime().mailbox(1).probe(0, swampi::kAnySource, 17);
+    if (world.rank() == 2)
+      at_new = world.runtime().mailbox(2).probe(0, swampi::kAnySource, 17);
+  });
+  EXPECT_TRUE(at_old.load());
+  EXPECT_FALSE(at_new.load());
+}
+
+TEST(MessageForwarding, PreservesOrderAndPayloads) {
+  Runtime rt(3);
+  rt.run([](Comm& world) {
+    auto cfg = two_active_slow_rank1(/*forward=*/true);
+    cfg.speed_probe = [&world] { return world.rank() == 1 ? 10.0 : 100.0; };
+    swapx::SwapContext ctx(world, cfg);
+    if (world.rank() == 0) {
+      std::vector<double> big(256);
+      std::iota(big.begin(), big.end(), 0.0);
+      world.send_value(7, 1, 1);
+      world.send(big.data(), big.size(), 1, 2);
+      world.send_value(9, 1, 1);
+    }
+    const swapx::Role role = ctx.swap_point(10.0);
+    if (role.active && role.slot == 1) {
+      EXPECT_EQ(world.rank(), 2);
+      EXPECT_EQ(world.recv_value<int>(0, 1), 7);
+      std::vector<double> big(256);
+      world.recv(big.data(), big.size(), 0, 2);
+      EXPECT_DOUBLE_EQ(big[255], 255.0);
+      EXPECT_EQ(world.recv_value<int>(0, 1), 9);
+    }
+  });
+}
+
+TEST(CheckpointStore, TracksCompleteness) {
+  swapx::CheckpointStore store;
+  EXPECT_FALSE(store.complete(2));
+  store.write(0, {.iteration = 3, .buffers = {}});
+  EXPECT_FALSE(store.complete(2));
+  store.write(1, {.iteration = 2, .buffers = {}});
+  EXPECT_FALSE(store.complete(2));  // stamps differ
+  store.write(1, {.iteration = 3, .buffers = {}});
+  EXPECT_TRUE(store.complete(2));
+  EXPECT_EQ(store.iteration(2), 3u);
+  EXPECT_EQ(store.slots_stored(), 2u);
+  EXPECT_THROW((void)store.read(9), std::out_of_range);
+  EXPECT_THROW((void)store.iteration(5), std::logic_error);
+}
+
+TEST(Checkpointing, RoundTripsRegisteredState) {
+  Runtime rt(3);
+  swapx::CheckpointStore store;
+  rt.run([&store](Comm& world) {
+    swapx::SwapConfig cfg;
+    cfg.active_count = 2;
+    cfg.speed_probe = [] { return 100.0; };
+    swapx::SwapContext ctx(world, cfg);
+    std::vector<int> data(16, world.rank() * 10);
+    double scalar = world.rank() * 1.5;
+    ctx.register_state(data.data(), data.size() * sizeof(int));
+    ctx.register_value(scalar);
+
+    swapx::checkpoint(ctx, store, /*iteration=*/5);
+    // Corrupt the live state, then roll back.
+    std::fill(data.begin(), data.end(), -999);
+    scalar = -1.0;
+    const std::uint64_t iter = swapx::restore(ctx, store);
+    EXPECT_EQ(iter, 5u);
+    if (ctx.role().active) {
+      EXPECT_EQ(data[0], world.rank() * 10);
+      EXPECT_DOUBLE_EQ(scalar, world.rank() * 1.5);
+    } else {
+      // Spares are untouched by restore.
+      EXPECT_EQ(data[0], -999);
+    }
+  });
+}
+
+TEST(Checkpointing, RestoreLandsOnSlotsNewHomeAfterSwap) {
+  // Checkpoint while slot 1 lives on rank 1; swap slot 1 to rank 2; restore
+  // must rebuild slot 1's state on rank 2.
+  Runtime rt(3);
+  swapx::CheckpointStore store;
+  std::atomic<int> restored_value{0};
+  rt.run([&](Comm& world) {
+    auto cfg = two_active_slow_rank1(/*forward=*/false);
+    cfg.speed_probe = [&world] { return world.rank() == 1 ? 10.0 : 100.0; };
+    swapx::SwapContext ctx(world, cfg);
+    int payload = world.rank() == 1 ? 4242 : 0;
+    ctx.register_value(payload);
+
+    swapx::checkpoint(ctx, store, 1);
+    const swapx::Role role = ctx.swap_point(10.0);
+    ASSERT_EQ(ctx.swaps_performed(), 1u);
+    payload = -5;  // diverge everywhere
+    (void)swapx::restore(ctx, store);
+    if (role.active && role.slot == 1) restored_value = payload;
+  });
+  EXPECT_EQ(restored_value.load(), 4242);
+}
+
+TEST(Checkpointing, RestoreWithoutCheckpointThrows) {
+  Runtime rt(1);
+  swapx::CheckpointStore store;
+  rt.run([&store](Comm& world) {
+    swapx::SwapConfig cfg;
+    cfg.active_count = 1;
+    cfg.speed_probe = [] { return 1.0; };
+    swapx::SwapContext ctx(world, cfg);
+    EXPECT_THROW((void)swapx::restore(ctx, store), std::logic_error);
+  });
+}

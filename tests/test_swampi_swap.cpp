@@ -1,0 +1,227 @@
+// Tests for the swampi swap extension: the paper's mechanism end to end.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "swampi/runtime.hpp"
+#include "swampi/swap_ext.hpp"
+#include "swampi/throttle.hpp"
+
+using swampi::Comm;
+using swampi::Runtime;
+using swampi::Throttle;
+namespace swapx = swampi::swapx;
+namespace policy = simsweep::swap;
+
+namespace {
+
+/// Builds a config with a virtual clock that advances one second per swap
+/// point (deterministic histories).
+swapx::SwapConfig config_with(int active, policy::PolicyParams pol,
+                              std::function<double()> probe,
+                              std::shared_ptr<std::atomic<int>> tick) {
+  swapx::SwapConfig cfg;
+  cfg.active_count = active;
+  cfg.policy = std::move(pol);
+  cfg.speed_probe = std::move(probe);
+  cfg.clock = [tick] { return static_cast<double>(tick->load()); };
+  return cfg;
+}
+
+}  // namespace
+
+TEST(SwapContext, InitialRolesAssignFirstRanksToSlots) {
+  Runtime rt(4);
+  rt.run([](Comm& world) {
+    auto cfg = swapx::SwapConfig{};
+    cfg.active_count = 2;
+    cfg.speed_probe = [] { return 1.0; };
+    swapx::SwapContext ctx(world, cfg);
+    const swapx::Role role = ctx.role();
+    EXPECT_EQ(role.active, world.rank() < 2);
+    EXPECT_EQ(role.slot, world.rank() < 2 ? world.rank() : -1);
+  });
+}
+
+TEST(SwapContext, ValidatesConfig) {
+  Runtime rt(2);
+  rt.run([](Comm& world) {
+    swapx::SwapConfig cfg;
+    cfg.active_count = 3;  // > world size
+    cfg.speed_probe = [] { return 1.0; };
+    EXPECT_THROW(swapx::SwapContext(world, cfg), std::invalid_argument);
+    cfg.active_count = 1;
+    cfg.speed_probe = nullptr;
+    EXPECT_THROW(swapx::SwapContext(world, cfg), std::invalid_argument);
+  });
+}
+
+TEST(SwapContext, NoSwapWhenEveryoneEquallyFast) {
+  Runtime rt(4);
+  rt.run([](Comm& world) {
+    swapx::SwapConfig cfg;
+    cfg.active_count = 2;
+    cfg.speed_probe = [] { return 100.0; };
+    swapx::SwapContext ctx(world, cfg);
+    for (int iter = 0; iter < 3; ++iter) {
+      const swapx::Role role = ctx.swap_point(10.0);
+      EXPECT_EQ(role, ctx.role());
+    }
+    EXPECT_EQ(ctx.swaps_performed(), 0u);
+  });
+}
+
+TEST(SwapContext, GreedySwapsToFasterSpareAndMovesState) {
+  // World of 3: ranks 0/1 active, rank 2 spare.  Rank 1 is slow; rank 2 is
+  // fast.  After one swap point, slot 1 must live on rank 2 with rank 1's
+  // registered state.
+  Runtime rt(3);
+  std::mutex mu;
+  std::vector<std::pair<int, double>> active_payloads;  // (slot, payload)
+  rt.run([&](Comm& world) {
+    swapx::SwapConfig cfg;
+    cfg.active_count = 2;
+    cfg.speed_probe = [&world] {
+      return world.rank() == 1 ? 10.0 : 100.0;
+    };
+    swapx::SwapContext ctx(world, cfg);
+    double payload = world.rank() == 1 ? 41.5 : -1.0;
+    std::vector<int> grid(64, world.rank());
+    ctx.register_value(payload);
+    ctx.register_state(grid.data(), grid.size() * sizeof(int));
+    EXPECT_EQ(ctx.state_bytes(), sizeof(double) + 64 * sizeof(int));
+
+    const swapx::Role role = ctx.swap_point(10.0);
+    EXPECT_EQ(ctx.swaps_performed(), 1u);
+    ASSERT_EQ(ctx.last_events().size(), 1u);
+    EXPECT_EQ(ctx.last_events()[0].slot, 1);
+    EXPECT_EQ(ctx.last_events()[0].from, 1);
+    EXPECT_EQ(ctx.last_events()[0].to, 2);
+    if (world.rank() == 1) { EXPECT_FALSE(role.active); }
+    if (world.rank() == 2) {
+      EXPECT_TRUE(role.active);
+      EXPECT_EQ(role.slot, 1);
+      // Registered state arrived from the evicted rank.
+      EXPECT_DOUBLE_EQ(payload, 41.5);
+      for (int v : grid) EXPECT_EQ(v, 1);
+    }
+    if (role.active) {
+      const std::scoped_lock lock(mu);
+      active_payloads.emplace_back(role.slot, payload);
+    }
+  });
+  EXPECT_EQ(active_payloads.size(), 2u);
+}
+
+TEST(SwapContext, SafePolicyRefusesMarginalGain) {
+  Runtime rt(3);
+  rt.run([](Comm& world) {
+    swapx::SwapConfig cfg;
+    cfg.active_count = 2;
+    cfg.policy = policy::safe_policy();
+    cfg.policy.history_window_s = 0.0;  // isolate the stiction threshold
+    cfg.speed_probe = [&world] {
+      return world.rank() == 2 ? 110.0 : 100.0;  // spare only 10 % faster
+    };
+    swapx::SwapContext ctx(world, cfg);
+    (void)ctx.swap_point(10.0);
+    (void)ctx.swap_point(10.0);
+    EXPECT_EQ(ctx.swaps_performed(), 0u);
+  });
+}
+
+TEST(SwapContext, HistoryWindowDampsTransientSpikes) {
+  // The spare looks fast for one tick only.  With a long window, the
+  // windowed mean barely moves, so no swap happens; with no window the
+  // greedy policy swaps immediately.
+  for (const bool use_history : {false, true}) {
+    Runtime rt(3);
+    auto tick = std::make_shared<std::atomic<int>>(0);
+    std::atomic<std::size_t> swaps{0};
+    rt.run([&](Comm& world) {
+      auto pol = policy::greedy_policy();
+      pol.history_window_s = use_history ? 100.0 : 0.0;
+      // Rank 2 (spare) probes fast only at tick 5.
+      auto probe = [&world, tick] {
+        if (world.rank() == 2)
+          return tick->load() == 5 ? 500.0 : 50.0;
+        return 100.0;
+      };
+      auto cfg = config_with(2, pol, probe, tick);
+      swapx::SwapContext ctx(world, cfg);
+      for (int iter = 0; iter < 8; ++iter) {
+        if (world.rank() == 0) ++*tick;
+        world.barrier();
+        (void)ctx.swap_point(10.0);
+      }
+      if (world.rank() == 0) swaps = ctx.swaps_performed();
+    });
+    if (use_history) {
+      EXPECT_EQ(swaps.load(), 0u);
+    } else {
+      EXPECT_GE(swaps.load(), 1u);
+    }
+  }
+}
+
+TEST(SwapContext, ThrottleDrivenRelocationFollowsLoad) {
+  // Three ranks with scripted availability: rank 0 degrades sharply after
+  // phase 2; the spare (rank 2) stays fast.  The greedy manager must move
+  // slot 0 to rank 2, and the iteration "times" improve.
+  Runtime rt(3);
+  std::atomic<int> final_owner{-1};
+  rt.run([&](Comm& world) {
+    std::vector<std::vector<double>> profiles{
+        {1.0, 1.0, 0.1, 0.1, 0.1},  // rank 0: collapses at phase 2
+        {1.0, 1.0, 1.0, 1.0, 1.0},  // rank 1: steady
+        {1.0, 1.0, 1.0, 1.0, 1.0},  // rank 2: steady spare
+    };
+    Throttle throttle(100.0,
+                      profiles[static_cast<std::size_t>(world.rank())]);
+    swapx::SwapConfig cfg;
+    cfg.active_count = 2;
+    cfg.speed_probe = [&throttle] { return throttle.speed(); };
+    swapx::SwapContext ctx(world, cfg);
+    swapx::Role role = ctx.role();
+    const double chunk = 100.0;
+    for (std::size_t iter = 0; iter < 5; ++iter) {
+      throttle.set_phase(iter);
+      const double iter_time = role.active ? throttle.time_for(chunk) : 0.0;
+      role = ctx.swap_point(iter_time);
+    }
+    if (role.active && role.slot == 0) final_owner = world.rank();
+  });
+  EXPECT_EQ(final_owner.load(), 2);
+}
+
+TEST(SwapContext, AllRanksAgreeOnSwapCount) {
+  Runtime rt(5);
+  std::mutex mu;
+  std::vector<std::size_t> counts;
+  rt.run([&](Comm& world) {
+    swapx::SwapConfig cfg;
+    cfg.active_count = 3;
+    // Speeds descend with rank, so the initial placement is already best.
+    cfg.speed_probe = [&world] { return 100.0 - world.rank(); };
+    swapx::SwapContext ctx(world, cfg);
+    for (int i = 0; i < 4; ++i) (void)ctx.swap_point(5.0);
+    const std::scoped_lock lock(mu);
+    counts.push_back(ctx.swaps_performed());
+  });
+  ASSERT_EQ(counts.size(), 5u);
+  for (std::size_t c : counts) EXPECT_EQ(c, counts.front());
+}
+
+TEST(SwapContext, RegisterStateRejectsNull) {
+  Runtime rt(1);
+  rt.run([](Comm& world) {
+    swapx::SwapConfig cfg;
+    cfg.active_count = 1;
+    cfg.speed_probe = [] { return 1.0; };
+    swapx::SwapContext ctx(world, cfg);
+    EXPECT_THROW(ctx.register_state(nullptr, 8), std::invalid_argument);
+    ctx.register_state(nullptr, 0);  // zero-byte registration is fine
+  });
+}

@@ -1,0 +1,79 @@
+// Tests for CSV trace reading/writing and its TraceModel round trip.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "load/misc_models.hpp"
+#include "load/trace_io.hpp"
+#include "platform/host.hpp"
+#include "simcore/simulator.hpp"
+
+namespace load = simsweep::load;
+namespace sim = simsweep::sim;
+namespace pf = simsweep::platform;
+
+TEST(TraceIo, ParsesWithHeader) {
+  std::istringstream in("time,cpu_load\n0,0\n10.5,1\n20,2\n");
+  const auto trace = load::read_trace_csv(in);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_DOUBLE_EQ(trace[1].time, 10.5);
+  EXPECT_DOUBLE_EQ(trace[2].value, 2.0);
+}
+
+TEST(TraceIo, ParsesWithoutHeaderAndBlankLines) {
+  std::istringstream in("0,1\n\n5,0\n");
+  const auto trace = load::read_trace_csv(in);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_DOUBLE_EQ(trace[0].value, 1.0);
+}
+
+TEST(TraceIo, CollapsesStepEdgeDuplicates) {
+  // The trace/fig binaries emit both edges of each step at the same time;
+  // reading that back keeps the post-edge value.
+  std::istringstream in("0,0\n10,0\n10,1\n20,1\n20,0\n");
+  const auto trace = load::read_trace_csv(in);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_DOUBLE_EQ(trace[1].time, 10.0);
+  EXPECT_DOUBLE_EQ(trace[1].value, 1.0);
+  EXPECT_DOUBLE_EQ(trace[2].value, 0.0);
+}
+
+TEST(TraceIo, RejectsMalformedInput) {
+  std::istringstream no_comma("0 1\n");
+  EXPECT_THROW((void)load::read_trace_csv(no_comma), std::invalid_argument);
+  std::istringstream bad_number("0,zero\n1,1\n");
+  EXPECT_THROW((void)load::read_trace_csv(bad_number), std::invalid_argument);
+  std::istringstream backwards("5,1\n2,0\n");
+  EXPECT_THROW((void)load::read_trace_csv(backwards), std::invalid_argument);
+  std::istringstream negative("0,-1\n");
+  EXPECT_THROW((void)load::read_trace_csv(negative), std::invalid_argument);
+  std::istringstream empty("time,cpu_load\n");
+  EXPECT_THROW((void)load::read_trace_csv(empty), std::invalid_argument);
+  EXPECT_THROW((void)load::read_trace_file("/nonexistent/trace.csv"),
+               std::runtime_error);
+}
+
+TEST(TraceIo, WriteReadRoundTrip) {
+  const std::vector<sim::Sample> trace{{0.0, 0.0}, {12.25, 2.0}, {100.0, 1.0}};
+  std::stringstream buffer;
+  load::write_trace_csv(buffer, trace);
+  const auto back = load::read_trace_csv(buffer);
+  ASSERT_EQ(back.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back[i].time, trace[i].time);
+    EXPECT_DOUBLE_EQ(back[i].value, trace[i].value);
+  }
+}
+
+TEST(TraceIo, ParsedTraceDrivesTraceModel) {
+  std::istringstream in("time,cpu_load\n0,0\n50,3\n");
+  load::TraceModel model(load::read_trace_csv(in), /*period=*/100.0,
+                         /*random_phase=*/false);
+  sim::Simulator s;
+  pf::Host h(s, 0, 100.0, "h");
+  auto src = model.make_source(sim::Rng(1));
+  src->start(s, h);
+  s.run_until(90.0);
+  EXPECT_DOUBLE_EQ(h.mean_availability(0.0, 50.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.mean_availability(50.0, 90.0), 0.25);
+}
