@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_history_window.cpp" "bench-cmake/CMakeFiles/abl_history_window.dir/abl_history_window.cpp.o" "gcc" "bench-cmake/CMakeFiles/abl_history_window.dir/abl_history_window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/simsweep_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/strategy/CMakeFiles/simsweep_strategy.dir/DependInfo.cmake"
+  "/root/repo/build/src/load/CMakeFiles/simsweep_load.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/simsweep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/simsweep_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/simsweep_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/swap/CMakeFiles/simsweep_swap.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/simsweep_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/swampi/CMakeFiles/swampi.dir/DependInfo.cmake"
+  "/root/repo/build/src/forecast/CMakeFiles/simsweep_forecast.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

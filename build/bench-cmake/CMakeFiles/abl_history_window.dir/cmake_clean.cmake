@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_history_window"
+  "../bench/abl_history_window.pdb"
+  "CMakeFiles/abl_history_window.dir/abl_history_window.cpp.o"
+  "CMakeFiles/abl_history_window.dir/abl_history_window.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_history_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

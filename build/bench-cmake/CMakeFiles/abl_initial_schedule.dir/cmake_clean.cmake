@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_initial_schedule"
+  "../bench/abl_initial_schedule.pdb"
+  "CMakeFiles/abl_initial_schedule.dir/abl_initial_schedule.cpp.o"
+  "CMakeFiles/abl_initial_schedule.dir/abl_initial_schedule.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_initial_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_payback_threshold"
+  "../bench/abl_payback_threshold.pdb"
+  "CMakeFiles/abl_payback_threshold.dir/abl_payback_threshold.cpp.o"
+  "CMakeFiles/abl_payback_threshold.dir/abl_payback_threshold.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_payback_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

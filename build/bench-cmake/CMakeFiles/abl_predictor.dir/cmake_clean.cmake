@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_predictor"
+  "../bench/abl_predictor.pdb"
+  "CMakeFiles/abl_predictor.dir/abl_predictor.cpp.o"
+  "CMakeFiles/abl_predictor.dir/abl_predictor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

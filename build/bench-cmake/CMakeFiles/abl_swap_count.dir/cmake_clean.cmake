@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_swap_count"
+  "../bench/abl_swap_count.pdb"
+  "CMakeFiles/abl_swap_count.dir/abl_swap_count.cpp.o"
+  "CMakeFiles/abl_swap_count.dir/abl_swap_count.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_swap_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

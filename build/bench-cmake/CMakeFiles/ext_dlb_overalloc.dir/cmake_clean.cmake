@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_dlb_overalloc"
+  "../bench/ext_dlb_overalloc.pdb"
+  "CMakeFiles/ext_dlb_overalloc.dir/ext_dlb_overalloc.cpp.o"
+  "CMakeFiles/ext_dlb_overalloc.dir/ext_dlb_overalloc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dlb_overalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_reclamation"
+  "../bench/ext_reclamation.pdb"
+  "CMakeFiles/ext_reclamation.dir/ext_reclamation.cpp.o"
+  "CMakeFiles/ext_reclamation.dir/ext_reclamation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_reclamation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

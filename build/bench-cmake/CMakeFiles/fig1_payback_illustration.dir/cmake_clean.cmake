@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_payback_illustration"
+  "../bench/fig1_payback_illustration.pdb"
+  "CMakeFiles/fig1_payback_illustration.dir/fig1_payback_illustration.cpp.o"
+  "CMakeFiles/fig1_payback_illustration.dir/fig1_payback_illustration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_payback_illustration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_onoff_trace"
+  "../bench/fig2_onoff_trace.pdb"
+  "CMakeFiles/fig2_onoff_trace.dir/fig2_onoff_trace.cpp.o"
+  "CMakeFiles/fig2_onoff_trace.dir/fig2_onoff_trace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_onoff_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

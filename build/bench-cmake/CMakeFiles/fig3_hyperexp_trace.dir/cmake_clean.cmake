@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_hyperexp_trace"
+  "../bench/fig3_hyperexp_trace.pdb"
+  "CMakeFiles/fig3_hyperexp_trace.dir/fig3_hyperexp_trace.cpp.o"
+  "CMakeFiles/fig3_hyperexp_trace.dir/fig3_hyperexp_trace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_hyperexp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

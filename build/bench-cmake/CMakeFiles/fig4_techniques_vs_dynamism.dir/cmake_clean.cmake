@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_techniques_vs_dynamism"
+  "../bench/fig4_techniques_vs_dynamism.pdb"
+  "CMakeFiles/fig4_techniques_vs_dynamism.dir/fig4_techniques_vs_dynamism.cpp.o"
+  "CMakeFiles/fig4_techniques_vs_dynamism.dir/fig4_techniques_vs_dynamism.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_techniques_vs_dynamism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_techniques_vs_dynamism.
+# This may be replaced when dependencies are built.

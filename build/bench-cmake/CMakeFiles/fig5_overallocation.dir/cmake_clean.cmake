@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_overallocation"
+  "../bench/fig5_overallocation.pdb"
+  "CMakeFiles/fig5_overallocation.dir/fig5_overallocation.cpp.o"
+  "CMakeFiles/fig5_overallocation.dir/fig5_overallocation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_overallocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_policies"
+  "../bench/fig7_policies.pdb"
+  "CMakeFiles/fig7_policies.dir/fig7_policies.cpp.o"
+  "CMakeFiles/fig7_policies.dir/fig7_policies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_policies_large_state"
+  "../bench/fig8_policies_large_state.pdb"
+  "CMakeFiles/fig8_policies_large_state.dir/fig8_policies_large_state.cpp.o"
+  "CMakeFiles/fig8_policies_large_state.dir/fig8_policies_large_state.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_policies_large_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

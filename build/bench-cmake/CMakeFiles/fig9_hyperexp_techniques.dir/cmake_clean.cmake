@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_hyperexp_techniques"
+  "../bench/fig9_hyperexp_techniques.pdb"
+  "CMakeFiles/fig9_hyperexp_techniques.dir/fig9_hyperexp_techniques.cpp.o"
+  "CMakeFiles/fig9_hyperexp_techniques.dir/fig9_hyperexp_techniques.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_hyperexp_techniques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

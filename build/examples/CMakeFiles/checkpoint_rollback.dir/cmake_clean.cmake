@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_rollback.dir/checkpoint_rollback.cpp.o"
+  "CMakeFiles/checkpoint_rollback.dir/checkpoint_rollback.cpp.o.d"
+  "checkpoint_rollback"
+  "checkpoint_rollback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_rollback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

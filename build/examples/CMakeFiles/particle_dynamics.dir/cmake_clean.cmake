@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/particle_dynamics.dir/particle_dynamics.cpp.o"
+  "CMakeFiles/particle_dynamics.dir/particle_dynamics.cpp.o.d"
+  "particle_dynamics"
+  "particle_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/particle_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_scenario.dir/trace_scenario.cpp.o"
+  "CMakeFiles/trace_scenario.dir/trace_scenario.cpp.o.d"
+  "trace_scenario"
+  "trace_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simsweep_app.dir/app_spec.cpp.o"
+  "CMakeFiles/simsweep_app.dir/app_spec.cpp.o.d"
+  "libsimsweep_app.a"
+  "libsimsweep_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simsweep_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simsweep.dir/main.cpp.o"
+  "CMakeFiles/simsweep.dir/main.cpp.o.d"
+  "simsweep"
+  "simsweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simsweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

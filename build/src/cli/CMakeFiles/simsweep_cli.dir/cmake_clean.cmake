@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simsweep_cli.dir/args.cpp.o"
+  "CMakeFiles/simsweep_cli.dir/args.cpp.o.d"
+  "CMakeFiles/simsweep_cli.dir/config_build.cpp.o"
+  "CMakeFiles/simsweep_cli.dir/config_build.cpp.o.d"
+  "libsimsweep_cli.a"
+  "libsimsweep_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simsweep_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simsweep_core.dir/experiment.cpp.o"
+  "CMakeFiles/simsweep_core.dir/experiment.cpp.o.d"
+  "libsimsweep_core.a"
+  "libsimsweep_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simsweep_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

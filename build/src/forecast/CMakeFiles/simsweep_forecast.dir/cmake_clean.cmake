@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simsweep_forecast.dir/forecaster.cpp.o"
+  "CMakeFiles/simsweep_forecast.dir/forecaster.cpp.o.d"
+  "libsimsweep_forecast.a"
+  "libsimsweep_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simsweep_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

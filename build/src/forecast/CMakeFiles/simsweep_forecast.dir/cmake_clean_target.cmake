@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsimsweep_forecast.a"
+)

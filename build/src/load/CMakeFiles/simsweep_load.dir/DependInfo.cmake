@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/load/hyperexp.cpp" "src/load/CMakeFiles/simsweep_load.dir/hyperexp.cpp.o" "gcc" "src/load/CMakeFiles/simsweep_load.dir/hyperexp.cpp.o.d"
+  "/root/repo/src/load/load_model.cpp" "src/load/CMakeFiles/simsweep_load.dir/load_model.cpp.o" "gcc" "src/load/CMakeFiles/simsweep_load.dir/load_model.cpp.o.d"
+  "/root/repo/src/load/misc_models.cpp" "src/load/CMakeFiles/simsweep_load.dir/misc_models.cpp.o" "gcc" "src/load/CMakeFiles/simsweep_load.dir/misc_models.cpp.o.d"
+  "/root/repo/src/load/onoff.cpp" "src/load/CMakeFiles/simsweep_load.dir/onoff.cpp.o" "gcc" "src/load/CMakeFiles/simsweep_load.dir/onoff.cpp.o.d"
+  "/root/repo/src/load/reclamation.cpp" "src/load/CMakeFiles/simsweep_load.dir/reclamation.cpp.o" "gcc" "src/load/CMakeFiles/simsweep_load.dir/reclamation.cpp.o.d"
+  "/root/repo/src/load/trace_io.cpp" "src/load/CMakeFiles/simsweep_load.dir/trace_io.cpp.o" "gcc" "src/load/CMakeFiles/simsweep_load.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/simsweep_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/simsweep_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

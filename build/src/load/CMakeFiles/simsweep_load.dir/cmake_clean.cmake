@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simsweep_load.dir/hyperexp.cpp.o"
+  "CMakeFiles/simsweep_load.dir/hyperexp.cpp.o.d"
+  "CMakeFiles/simsweep_load.dir/load_model.cpp.o"
+  "CMakeFiles/simsweep_load.dir/load_model.cpp.o.d"
+  "CMakeFiles/simsweep_load.dir/misc_models.cpp.o"
+  "CMakeFiles/simsweep_load.dir/misc_models.cpp.o.d"
+  "CMakeFiles/simsweep_load.dir/onoff.cpp.o"
+  "CMakeFiles/simsweep_load.dir/onoff.cpp.o.d"
+  "CMakeFiles/simsweep_load.dir/reclamation.cpp.o"
+  "CMakeFiles/simsweep_load.dir/reclamation.cpp.o.d"
+  "CMakeFiles/simsweep_load.dir/trace_io.cpp.o"
+  "CMakeFiles/simsweep_load.dir/trace_io.cpp.o.d"
+  "libsimsweep_load.a"
+  "libsimsweep_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simsweep_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simsweep_net.dir/shared_link.cpp.o"
+  "CMakeFiles/simsweep_net.dir/shared_link.cpp.o.d"
+  "libsimsweep_net.a"
+  "libsimsweep_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simsweep_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simsweep_platform.dir/cluster.cpp.o"
+  "CMakeFiles/simsweep_platform.dir/cluster.cpp.o.d"
+  "CMakeFiles/simsweep_platform.dir/host.cpp.o"
+  "CMakeFiles/simsweep_platform.dir/host.cpp.o.d"
+  "libsimsweep_platform.a"
+  "libsimsweep_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simsweep_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simsweep_simcore.dir/trace_recorder.cpp.o"
+  "CMakeFiles/simsweep_simcore.dir/trace_recorder.cpp.o.d"
+  "libsimsweep_simcore.a"
+  "libsimsweep_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simsweep_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simsweep_strategy.dir/estimator.cpp.o"
+  "CMakeFiles/simsweep_strategy.dir/estimator.cpp.o.d"
+  "CMakeFiles/simsweep_strategy.dir/executor.cpp.o"
+  "CMakeFiles/simsweep_strategy.dir/executor.cpp.o.d"
+  "CMakeFiles/simsweep_strategy.dir/schedule.cpp.o"
+  "CMakeFiles/simsweep_strategy.dir/schedule.cpp.o.d"
+  "CMakeFiles/simsweep_strategy.dir/strategies.cpp.o"
+  "CMakeFiles/simsweep_strategy.dir/strategies.cpp.o.d"
+  "libsimsweep_strategy.a"
+  "libsimsweep_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simsweep_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/swampi/checkpoint_ext.cpp" "src/swampi/CMakeFiles/swampi.dir/checkpoint_ext.cpp.o" "gcc" "src/swampi/CMakeFiles/swampi.dir/checkpoint_ext.cpp.o.d"
+  "/root/repo/src/swampi/comm.cpp" "src/swampi/CMakeFiles/swampi.dir/comm.cpp.o" "gcc" "src/swampi/CMakeFiles/swampi.dir/comm.cpp.o.d"
+  "/root/repo/src/swampi/mailbox.cpp" "src/swampi/CMakeFiles/swampi.dir/mailbox.cpp.o" "gcc" "src/swampi/CMakeFiles/swampi.dir/mailbox.cpp.o.d"
+  "/root/repo/src/swampi/runtime.cpp" "src/swampi/CMakeFiles/swampi.dir/runtime.cpp.o" "gcc" "src/swampi/CMakeFiles/swampi.dir/runtime.cpp.o.d"
+  "/root/repo/src/swampi/swap_ext.cpp" "src/swampi/CMakeFiles/swampi.dir/swap_ext.cpp.o" "gcc" "src/swampi/CMakeFiles/swampi.dir/swap_ext.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/swap/CMakeFiles/simsweep_swap.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/simsweep_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

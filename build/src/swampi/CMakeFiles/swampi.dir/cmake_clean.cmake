@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swampi.dir/checkpoint_ext.cpp.o"
+  "CMakeFiles/swampi.dir/checkpoint_ext.cpp.o.d"
+  "CMakeFiles/swampi.dir/comm.cpp.o"
+  "CMakeFiles/swampi.dir/comm.cpp.o.d"
+  "CMakeFiles/swampi.dir/mailbox.cpp.o"
+  "CMakeFiles/swampi.dir/mailbox.cpp.o.d"
+  "CMakeFiles/swampi.dir/runtime.cpp.o"
+  "CMakeFiles/swampi.dir/runtime.cpp.o.d"
+  "CMakeFiles/swampi.dir/swap_ext.cpp.o"
+  "CMakeFiles/swampi.dir/swap_ext.cpp.o.d"
+  "libswampi.a"
+  "libswampi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swampi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

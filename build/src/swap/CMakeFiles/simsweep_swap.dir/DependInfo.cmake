@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/swap/payback.cpp" "src/swap/CMakeFiles/simsweep_swap.dir/payback.cpp.o" "gcc" "src/swap/CMakeFiles/simsweep_swap.dir/payback.cpp.o.d"
+  "/root/repo/src/swap/perf_history.cpp" "src/swap/CMakeFiles/simsweep_swap.dir/perf_history.cpp.o" "gcc" "src/swap/CMakeFiles/simsweep_swap.dir/perf_history.cpp.o.d"
+  "/root/repo/src/swap/planner.cpp" "src/swap/CMakeFiles/simsweep_swap.dir/planner.cpp.o" "gcc" "src/swap/CMakeFiles/simsweep_swap.dir/planner.cpp.o.d"
+  "/root/repo/src/swap/policy.cpp" "src/swap/CMakeFiles/simsweep_swap.dir/policy.cpp.o" "gcc" "src/swap/CMakeFiles/simsweep_swap.dir/policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/simsweep_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simsweep_swap.dir/payback.cpp.o"
+  "CMakeFiles/simsweep_swap.dir/payback.cpp.o.d"
+  "CMakeFiles/simsweep_swap.dir/perf_history.cpp.o"
+  "CMakeFiles/simsweep_swap.dir/perf_history.cpp.o.d"
+  "CMakeFiles/simsweep_swap.dir/planner.cpp.o"
+  "CMakeFiles/simsweep_swap.dir/planner.cpp.o.d"
+  "CMakeFiles/simsweep_swap.dir/policy.cpp.o"
+  "CMakeFiles/simsweep_swap.dir/policy.cpp.o.d"
+  "libsimsweep_swap.a"
+  "libsimsweep_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simsweep_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

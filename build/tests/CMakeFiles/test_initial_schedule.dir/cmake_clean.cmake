@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_initial_schedule.dir/test_initial_schedule.cpp.o"
+  "CMakeFiles/test_initial_schedule.dir/test_initial_schedule.cpp.o.d"
+  "test_initial_schedule"
+  "test_initial_schedule.pdb"
+  "test_initial_schedule[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_initial_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_semantics.dir/test_model_semantics.cpp.o"
+  "CMakeFiles/test_model_semantics.dir/test_model_semantics.cpp.o.d"
+  "test_model_semantics"
+  "test_model_semantics.pdb"
+  "test_model_semantics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

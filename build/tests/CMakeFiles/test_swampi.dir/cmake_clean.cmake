@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swampi.dir/test_swampi.cpp.o"
+  "CMakeFiles/test_swampi.dir/test_swampi.cpp.o.d"
+  "test_swampi"
+  "test_swampi.pdb"
+  "test_swampi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swampi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

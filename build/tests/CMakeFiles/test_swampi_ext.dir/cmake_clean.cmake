@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swampi_ext.dir/test_swampi_ext.cpp.o"
+  "CMakeFiles/test_swampi_ext.dir/test_swampi_ext.cpp.o.d"
+  "test_swampi_ext"
+  "test_swampi_ext.pdb"
+  "test_swampi_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swampi_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

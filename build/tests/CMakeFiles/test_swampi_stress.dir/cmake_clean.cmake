@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swampi_stress.dir/test_swampi_stress.cpp.o"
+  "CMakeFiles/test_swampi_stress.dir/test_swampi_stress.cpp.o.d"
+  "test_swampi_stress"
+  "test_swampi_stress.pdb"
+  "test_swampi_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swampi_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

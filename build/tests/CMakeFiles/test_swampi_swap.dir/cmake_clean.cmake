@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swampi_swap.dir/test_swampi_swap.cpp.o"
+  "CMakeFiles/test_swampi_swap.dir/test_swampi_swap.cpp.o.d"
+  "test_swampi_swap"
+  "test_swampi_swap.pdb"
+  "test_swampi_swap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swampi_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

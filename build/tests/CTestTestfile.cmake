@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_simcore[1]_include.cmake")
+include("/root/repo/build/tests/test_platform[1]_include.cmake")
+include("/root/repo/build/tests/test_load[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_swap[1]_include.cmake")
+include("/root/repo/build/tests/test_strategy[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_forecast[1]_include.cmake")
+include("/root/repo/build/tests/test_estimator[1]_include.cmake")
+include("/root/repo/build/tests/test_reclamation[1]_include.cmake")
+include("/root/repo/build/tests/test_swampi[1]_include.cmake")
+include("/root/repo/build/tests/test_swampi_swap[1]_include.cmake")
+include("/root/repo/build/tests/test_swampi_ext[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_io[1]_include.cmake")
+include("/root/repo/build/tests/test_cli[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_executor[1]_include.cmake")
+include("/root/repo/build/tests/test_swampi_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_hybrid[1]_include.cmake")
+include("/root/repo/build/tests/test_coverage_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_model_semantics[1]_include.cmake")
+include("/root/repo/build/tests/test_initial_schedule[1]_include.cmake")
