@@ -24,17 +24,21 @@ int main() {
     report.series.push_back(
         {"dynamism_" + std::to_string(d).substr(0, 3), {}, {}});
 
-  for (std::size_t di = 0; di < dynamisms.size(); ++di) {
-    const bench::load::OnOffModel model(
-        bench::load::OnOffParams::dynamism(dynamisms[di]));
-    for (double threshold : thresholds) {
-      auto pol = bench::swp::safe_policy();
-      pol.payback_threshold_iters = threshold;
-      pol.min_process_improvement = 0.0;  // isolate the payback knob
-      bench::strat::SwapStrategy strategy{pol};
-      const auto stats = bench::core::run_trials(cfg, model, strategy, trials);
-      report.series[di].y.push_back(stats.mean);
-      report.series[di].adaptations.push_back(stats.mean_adaptations);
+  const auto grid = bench::run_grid(
+      thresholds.size(), dynamisms.size(),
+      [&](std::size_t xi, std::size_t di) {
+        const bench::load::OnOffModel model(
+            bench::load::OnOffParams::dynamism(dynamisms[di]));
+        auto pol = bench::swp::safe_policy();
+        pol.payback_threshold_iters = thresholds[xi];
+        pol.min_process_improvement = 0.0;  // isolate the payback knob
+        bench::strat::SwapStrategy strategy{pol};
+        return bench::core::run_trials(cfg, model, strategy, trials);
+      });
+  for (std::size_t xi = 0; xi < thresholds.size(); ++xi) {
+    for (std::size_t di = 0; di < dynamisms.size(); ++di) {
+      report.series[di].y.push_back(grid[xi][di].mean);
+      report.series[di].adaptations.push_back(grid[xi][di].mean_adaptations);
     }
   }
   bench::emit(report,

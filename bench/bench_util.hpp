@@ -9,12 +9,15 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/trial_runner.hpp"
 #include "load/hyperexp.hpp"
 #include "load/onoff.hpp"
 #include "swap/policy.hpp"
@@ -83,12 +86,58 @@ inline std::vector<NamedStrategy> policy_lineup() {
   return out;
 }
 
+/// Runs every cell of a (sweep-point × strategy) grid on the shared worker
+/// pool (sized by SIMSWEEP_JOBS / hardware concurrency) and stores each
+/// cell's TrialStats at a deterministic index, so parallel and serial
+/// execution produce identical reports.  `cell(xi, si)` must be safe to
+/// call concurrently for distinct cells; everything built on run_trials
+/// with per-cell models and configs is.
+inline std::vector<std::vector<core::TrialStats>> run_grid(
+    std::size_t x_count, std::size_t strategy_count,
+    const std::function<core::TrialStats(std::size_t, std::size_t)>& cell) {
+  std::vector<std::vector<core::TrialStats>> grid(
+      x_count, std::vector<core::TrialStats>(strategy_count));
+  core::TrialRunner::shared().parallel_for(
+      x_count * strategy_count, [&](std::size_t task) {
+        const std::size_t xi = task / strategy_count;
+        const std::size_t si = task % strategy_count;
+        grid[xi][si] = cell(xi, si);
+      });
+  return grid;
+}
+
+/// Aborts the bench when any grid cell recorded a stalled (deadlocked) run;
+/// a stall means the strategy wedged, and its "makespan" would silently
+/// pollute the figure as an ordinary slow run.
+inline void require_no_stalls(const std::vector<std::vector<core::TrialStats>>& grid,
+                              const std::string& bench_name) {
+  for (std::size_t xi = 0; xi < grid.size(); ++xi) {
+    for (std::size_t si = 0; si < grid[xi].size(); ++si) {
+      if (grid[xi][si].stalled > 0) {
+        std::fprintf(stderr,
+                     "%s: %zu stalled run(s) at point %zu, strategy %zu — "
+                     "a strategy deadlocked instead of timing out\n",
+                     bench_name.c_str(), grid[xi][si].stalled, xi, si);
+        std::abort();
+      }
+    }
+  }
+}
+
+struct SweepOptions {
+  /// Abort (via require_no_stalls) when any run stalls.
+  bool forbid_stalls = false;
+};
+
 /// Sweeps ON/OFF dynamism (the paper's "load probability" axis) for a fixed
-/// configuration and a set of strategies.
+/// configuration and a set of strategies.  Sweep points × strategies are
+/// dispatched to the shared trial pool; the report is independent of the
+/// execution order.
 inline core::SeriesReport sweep_dynamism(const core::ExperimentConfig& base,
                                          const std::vector<double>& xs,
                                          std::vector<NamedStrategy> lineup,
-                                         std::string title) {
+                                         std::string title,
+                                         SweepOptions options = {}) {
   core::SeriesReport report;
   report.title = std::move(title);
   report.x_label = "load_probability";
@@ -96,19 +145,24 @@ inline core::SeriesReport sweep_dynamism(const core::ExperimentConfig& base,
   const std::size_t trials = trial_count();
   for (auto& entry : lineup)
     report.series.push_back({entry.name, {}, {}});
-  for (double x : xs) {
-    const load::OnOffModel model(load::OnOffParams::dynamism(x));
-    for (std::size_t i = 0; i < lineup.size(); ++i) {
-      const auto stats =
-          core::run_trials(base, model, *lineup[i].strategy, trials);
-      report.series[i].y.push_back(stats.mean);
-      report.series[i].adaptations.push_back(stats.mean_adaptations);
+  const auto grid =
+      run_grid(xs.size(), lineup.size(), [&](std::size_t xi, std::size_t si) {
+        const load::OnOffModel model(load::OnOffParams::dynamism(xs[xi]));
+        return core::run_trials(base, model, *lineup[si].strategy, trials);
+      });
+  if (options.forbid_stalls) require_no_stalls(grid, report.title);
+  for (std::size_t xi = 0; xi < xs.size(); ++xi) {
+    for (std::size_t si = 0; si < lineup.size(); ++si) {
+      report.series[si].y.push_back(grid[xi][si].mean);
+      report.series[si].adaptations.push_back(grid[xi][si].mean_adaptations);
     }
   }
   return report;
 }
 
-/// Prints the standard bench output: expectation header, table, CSV.
+/// Prints the standard bench output: expectation header, table, CSV, and a
+/// one-object JSON block for machine consumption (perf trajectories, plot
+/// scripts).
 inline void emit(const core::SeriesReport& report,
                  const std::string& expectation) {
   std::cout << "==== " << report.title << " ====\n";
@@ -116,7 +170,9 @@ inline void emit(const core::SeriesReport& report,
   report.print_table(std::cout);
   std::cout << "\n-- csv --\n";
   report.print_csv(std::cout);
-  std::cout << std::endl;
+  std::cout << "\n-- json --\n";
+  report.print_json(std::cout);
+  std::cout << "\n" << std::endl;
 }
 
 }  // namespace bench

@@ -17,17 +17,22 @@ int main() {
   auto lineup = bench::technique_lineup();
   for (auto& entry : lineup) report.series.push_back({entry.name, {}, {}});
 
-  for (double pct : overalloc_pct) {
-    const auto spares =
-        static_cast<std::size_t>(8.0 * pct / 100.0 + 0.5);
-    auto cfg = bench::paper_config(/*active=*/8, /*iterations=*/60,
-                                   /*iter_minutes=*/2.0,
-                                   /*state_bytes=*/bench::app::kMiB, spares);
-    for (std::size_t i = 0; i < lineup.size(); ++i) {
-      const auto stats = bench::core::run_trials(cfg, model,
-                                                 *lineup[i].strategy, trials);
-      report.series[i].y.push_back(stats.mean);
-      report.series[i].adaptations.push_back(stats.mean_adaptations);
+  const auto grid = bench::run_grid(
+      overalloc_pct.size(), lineup.size(),
+      [&](std::size_t xi, std::size_t si) {
+        const auto spares =
+            static_cast<std::size_t>(8.0 * overalloc_pct[xi] / 100.0 + 0.5);
+        auto cfg = bench::paper_config(/*active=*/8, /*iterations=*/60,
+                                       /*iter_minutes=*/2.0,
+                                       /*state_bytes=*/bench::app::kMiB,
+                                       spares);
+        return bench::core::run_trials(cfg, model, *lineup[si].strategy,
+                                       trials);
+      });
+  for (std::size_t xi = 0; xi < overalloc_pct.size(); ++xi) {
+    for (std::size_t si = 0; si < lineup.size(); ++si) {
+      report.series[si].y.push_back(grid[xi][si].mean);
+      report.series[si].adaptations.push_back(grid[xi][si].mean_adaptations);
     }
   }
   bench::emit(report,

@@ -36,18 +36,22 @@ int main() {
                           bench::swp::greedy_policy())});
   for (auto& v : variants) report.series.push_back({v.name, {}, {}});
 
-  for (double x : xs) {
-    const bench::load::OnOffModel model(
-        bench::load::OnOffParams::dynamism(x));
-    for (std::size_t i = 0; i < variants.size(); ++i) {
-      // ~50 s iterations: the regime the paper quotes for this figure.
-      auto cfg = bench::paper_config(/*active=*/4, /*iterations=*/60,
-                                     /*iter_minutes=*/50.0 / 60.0,
-                                     variants[i].state_bytes, /*spares=*/28);
-      const auto stats = bench::core::run_trials(
-          cfg, model, *variants[i].strategy, trials);
-      report.series[i].y.push_back(stats.mean);
-      report.series[i].adaptations.push_back(stats.mean_adaptations);
+  const auto grid = bench::run_grid(
+      xs.size(), variants.size(), [&](std::size_t xi, std::size_t si) {
+        const bench::load::OnOffModel model(
+            bench::load::OnOffParams::dynamism(xs[xi]));
+        // ~50 s iterations: the regime the paper quotes for this figure.
+        auto cfg = bench::paper_config(/*active=*/4, /*iterations=*/60,
+                                       /*iter_minutes=*/50.0 / 60.0,
+                                       variants[si].state_bytes,
+                                       /*spares=*/28);
+        return bench::core::run_trials(cfg, model, *variants[si].strategy,
+                                       trials);
+      });
+  for (std::size_t xi = 0; xi < xs.size(); ++xi) {
+    for (std::size_t si = 0; si < variants.size(); ++si) {
+      report.series[si].y.push_back(grid[xi][si].mean);
+      report.series[si].adaptations.push_back(grid[xi][si].mean_adaptations);
     }
   }
   bench::emit(report,

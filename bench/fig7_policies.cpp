@@ -12,9 +12,12 @@ int main() {
                                  /*spares=*/28);
   const std::vector<double> xs{0.0,  0.05, 0.1, 0.15, 0.2, 0.3,
                                0.4,  0.5,  0.6, 0.8,  1.0};
+  // A stalled (deadlocked) policy run must abort the bench rather than be
+  // reported as an ordinarily slow curve.
   const auto report = bench::sweep_dynamism(
       cfg, xs, bench::policy_lineup(),
-      "Fig 7: swapping policies vs dynamism (4/32 active, 100 MB state)");
+      "Fig 7: swapping policies vs dynamism (4/32 active, 100 MB state)",
+      {.forbid_stalls = true});
   bench::emit(report,
               "greedy gives the largest boost (max ~40% over NONE) at "
               "moderate dynamism; friendly nearly keeps pace then degrades "

@@ -21,19 +21,22 @@ int main() {
   auto lineup = bench::technique_lineup();
   for (auto& entry : lineup) report.series.push_back({entry.name, {}, {}});
 
-  for (double lifetime : lifetimes) {
-    bench::load::HyperExpParams params;
-    params.mean_lifetime_s = lifetime;
-    params.long_prob = 0.2;
-    // Hold the offered load at 0.5 competitors per host so the axis varies
-    // persistence, not the amount of load.
-    params.mean_interarrival_s = 2.0 * lifetime;
-    const bench::load::HyperExpModel model(params);
-    for (std::size_t i = 0; i < lineup.size(); ++i) {
-      const auto stats = bench::core::run_trials(cfg, model,
-                                                 *lineup[i].strategy, trials);
-      report.series[i].y.push_back(stats.mean);
-      report.series[i].adaptations.push_back(stats.mean_adaptations);
+  const auto grid = bench::run_grid(
+      lifetimes.size(), lineup.size(), [&](std::size_t xi, std::size_t si) {
+        bench::load::HyperExpParams params;
+        params.mean_lifetime_s = lifetimes[xi];
+        params.long_prob = 0.2;
+        // Hold the offered load at 0.5 competitors per host so the axis
+        // varies persistence, not the amount of load.
+        params.mean_interarrival_s = 2.0 * lifetimes[xi];
+        const bench::load::HyperExpModel model(params);
+        return bench::core::run_trials(cfg, model, *lineup[si].strategy,
+                                       trials);
+      });
+  for (std::size_t xi = 0; xi < lifetimes.size(); ++xi) {
+    for (std::size_t si = 0; si < lineup.size(); ++si) {
+      report.series[si].y.push_back(grid[xi][si].mean);
+      report.series[si].adaptations.push_back(grid[xi][si].mean_adaptations);
     }
   }
   bench::emit(report,

@@ -5,13 +5,16 @@
 //                  techniques across ON/OFF dynamism)
 //   simsweep trace --model=onoff --duration=2000      (load trace as CSV)
 //   simsweep help
+#include <cstddef>
 #include <cstdio>
 #include <iostream>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "cli/config_build.hpp"
+#include "core/trial_runner.hpp"
 #include "load/onoff.hpp"
 #include "platform/host.hpp"
 #include "simcore/simulator.hpp"
@@ -37,6 +40,12 @@ platform/application flags (run, sweep):
   --hosts=32 --active=4 --spares=<hosts-active> --iters=60
   --iter-minutes=2 --state-mb=1 --comm-kb=100 --seed=1 --trials=8
 
+execution/output flags (run, sweep):
+  --jobs=N   worker threads for independent trials (default: SIMSWEEP_JOBS
+             env var, else hardware concurrency; results are identical to
+             --jobs=1)
+  --json     print machine-readable JSON instead of tables
+
 load model flags (run, trace):
   --model=onoff   --dynamism=0.2 | --p=0.3 --q=0.08 [--step=100]
   --model=hyperexp --lifetime=300 [--long-prob=0.2] [--interarrival=600]
@@ -54,14 +63,33 @@ examples:
   simsweep trace --model=hyperexp --lifetime=150 --duration=2000
 )";
 
+/// Non-negative integer flag; rejects negatives before the size_t cast can
+/// wrap into an absurd thread/trial count.
+std::size_t get_count(cli::Args& args, const std::string& flag,
+                      long fallback) {
+  const long v = args.get_int(flag, fallback);
+  if (v < 0)
+    throw std::invalid_argument("--" + flag + " must be >= 0, got " +
+                                std::to_string(v));
+  return static_cast<std::size_t>(v);
+}
+
 int cmd_run(cli::Args& args) {
-  const auto trials = static_cast<std::size_t>(args.get_int("trials", 8));
+  const auto trials = get_count(args, "trials", 8);
+  const auto jobs = get_count(args, "jobs", 0);
+  const bool json = args.get_bool("json");
   auto cfg = cli::build_config(args);
   const auto model = cli::build_load_model(args);
   auto strategy = cli::build_strategy(args);
   cli::reject_unused(args);
 
-  const auto stats = core::run_trials(cfg, *model, *strategy, trials);
+  const auto stats =
+      core::run_trials_parallel(cfg, *model, *strategy, trials, jobs);
+  if (json) {
+    stats.print_json(std::cout);
+    std::cout << '\n';
+    return 0;
+  }
   std::printf("strategy        %s\n", strategy->name().c_str());
   std::printf("trials          %zu (seeds %llu..%llu)\n", stats.trials,
               static_cast<unsigned long long>(cfg.seed),
@@ -70,14 +98,20 @@ int cmd_run(cli::Args& args) {
   std::printf("makespan stddev %.1f s\n", stats.stddev);
   std::printf("makespan range  [%.1f, %.1f] s\n", stats.min, stats.max);
   std::printf("adaptations     %.1f per run\n", stats.mean_adaptations);
-  if (stats.unfinished > 0)
+  if (stats.stalled > 0)
+    std::printf("WARNING: %zu run(s) stalled before the horizon "
+                "(strategy deadlock)\n",
+                stats.stalled);
+  if (stats.unfinished > stats.stalled)
     std::printf("WARNING: %zu run(s) hit the simulation horizon\n",
-                stats.unfinished);
+                stats.unfinished - stats.stalled);
   return 0;
 }
 
 int cmd_sweep(cli::Args& args) {
-  const auto trials = static_cast<std::size_t>(args.get_int("trials", 8));
+  const auto trials = get_count(args, "trials", 8);
+  const auto jobs = get_count(args, "jobs", 0);
+  const bool json = args.get_bool("json");
   auto cfg = cli::build_config(args);
   const std::vector<double> points = args.get_double_list(
       "points", {0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.8, 1.0});
@@ -96,14 +130,29 @@ int cmd_sweep(cli::Args& args) {
       std::make_unique<strat::CrStrategy>(simsweep::swap::greedy_policy()));
   for (const auto& s : lineup) report.series.push_back({s->name(), {}, {}});
 
-  for (double x : points) {
-    const simsweep::load::OnOffModel model(
-        simsweep::load::OnOffParams::dynamism(x));
-    for (std::size_t i = 0; i < lineup.size(); ++i) {
-      const auto stats = core::run_trials(cfg, model, *lineup[i], trials);
-      report.series[i].y.push_back(stats.mean);
-      report.series[i].adaptations.push_back(stats.mean_adaptations);
+  // Whole sweep cells (point × strategy) fan out over the pool; each cell
+  // writes to a fixed index, so the report is order-independent.
+  core::TrialRunner runner(jobs);
+  std::vector<std::vector<core::TrialStats>> grid(
+      points.size(), std::vector<core::TrialStats>(lineup.size()));
+  runner.parallel_for(
+      points.size() * lineup.size(), [&](std::size_t task) {
+        const std::size_t xi = task / lineup.size();
+        const std::size_t si = task % lineup.size();
+        const simsweep::load::OnOffModel model(
+            simsweep::load::OnOffParams::dynamism(points[xi]));
+        grid[xi][si] = core::run_trials(cfg, model, *lineup[si], trials);
+      });
+  for (std::size_t xi = 0; xi < points.size(); ++xi) {
+    for (std::size_t si = 0; si < lineup.size(); ++si) {
+      report.series[si].y.push_back(grid[xi][si].mean);
+      report.series[si].adaptations.push_back(grid[xi][si].mean_adaptations);
     }
+  }
+  if (json) {
+    report.print_json(std::cout);
+    std::cout << '\n';
+    return 0;
   }
   report.print_table(std::cout);
   std::cout << "\n";

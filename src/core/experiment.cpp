@@ -1,12 +1,15 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <iomanip>
 #include <limits>
 #include <ostream>
 #include <stdexcept>
+#include <utility>
 
+#include "core/trial_runner.hpp"
 #include "net/shared_link.hpp"
 #include "simcore/simulator.hpp"
 
@@ -42,35 +45,120 @@ strategy::RunResult run_single(const ExperimentConfig& config,
     if (exec->done()) break;
   }
   strategy::RunResult result = exec->result();
-  if (!result.finished) result.makespan_s = simulator.now();
+  if (!result.finished) {
+    // Two distinct failure shapes: the run outlived the horizon (slow but
+    // live), or the event queue drained with iterations outstanding (the
+    // strategy deadlocked — e.g. a boundary hook that never resumed).
+    result.stalled = simulator.now() < config.horizon_s;
+    result.makespan_s = simulator.now();
+  }
   return result;
 }
 
-TrialStats run_trials(ExperimentConfig config, const load::LoadModel& model,
-                      strategy::Strategy& strategy, std::size_t trials) {
-  if (trials == 0) throw std::invalid_argument("run_trials: zero trials");
+TrialStats reduce_trials(const std::vector<strategy::RunResult>& results) {
+  if (results.empty())
+    throw std::invalid_argument("reduce_trials: zero trials");
   TrialStats stats;
-  stats.trials = trials;
+  stats.trials = results.size();
   stats.min = std::numeric_limits<double>::infinity();
   stats.max = -std::numeric_limits<double>::infinity();
-  double sum = 0.0, sum_sq = 0.0, adapt_sum = 0.0;
-  const std::uint64_t base_seed = config.seed;
-  for (std::size_t t = 0; t < trials; ++t) {
-    config.seed = base_seed + t;
-    const strategy::RunResult r = run_single(config, model, strategy);
+  // Welford's online mean/variance: numerically stable when the spread is
+  // tiny relative to the magnitude (makespans near 1e9 s would lose all
+  // variance digits to cancellation in the sum-of-squares form).
+  double mean = 0.0, m2 = 0.0, adapt_sum = 0.0;
+  std::size_t n = 0;
+  for (const strategy::RunResult& r : results) {
     if (!r.finished) ++stats.unfinished;
-    sum += r.makespan_s;
-    sum_sq += r.makespan_s * r.makespan_s;
+    if (r.stalled) ++stats.stalled;
+    ++n;
+    const double delta = r.makespan_s - mean;
+    mean += delta / static_cast<double>(n);
+    m2 += delta * (r.makespan_s - mean);
     adapt_sum += static_cast<double>(r.adaptations);
     stats.min = std::min(stats.min, r.makespan_s);
     stats.max = std::max(stats.max, r.makespan_s);
   }
-  const double n = static_cast<double>(trials);
-  stats.mean = sum / n;
-  const double var = std::max(0.0, sum_sq / n - stats.mean * stats.mean);
-  stats.stddev = std::sqrt(var);
-  stats.mean_adaptations = adapt_sum / n;
+  stats.mean = mean;
+  stats.stddev = std::sqrt(std::max(0.0, m2 / static_cast<double>(n)));
+  stats.mean_adaptations = adapt_sum / static_cast<double>(n);
   return stats;
+}
+
+namespace {
+
+/// Serial or pooled trial fan-out; results land in trial-index order so the
+/// reduction (and therefore the returned stats) is identical either way.
+TrialStats run_trials_impl(ExperimentConfig config,
+                           const load::LoadModel& model,
+                           strategy::Strategy& strategy, std::size_t trials,
+                           TrialRunner* runner) {
+  if (trials == 0) throw std::invalid_argument("run_trials: zero trials");
+  const std::uint64_t base_seed = config.seed;
+  std::vector<strategy::RunResult> results(trials);
+  if (runner == nullptr) {
+    for (std::size_t t = 0; t < trials; ++t) {
+      config.seed = base_seed + t;
+      results[t] = run_single(config, model, strategy);
+    }
+  } else {
+    runner->parallel_for(trials, [&](std::size_t t) {
+      ExperimentConfig trial_config = config;
+      trial_config.seed = base_seed + t;
+      results[t] = run_single(trial_config, model, strategy);
+    });
+  }
+  return reduce_trials(results);
+}
+
+}  // namespace
+
+TrialStats run_trials(ExperimentConfig config, const load::LoadModel& model,
+                      strategy::Strategy& strategy, std::size_t trials) {
+  return run_trials_impl(std::move(config), model, strategy, trials,
+                         /*runner=*/nullptr);
+}
+
+TrialStats run_trials_parallel(ExperimentConfig config,
+                               const load::LoadModel& model,
+                               strategy::Strategy& strategy,
+                               std::size_t trials, std::size_t jobs) {
+  if (jobs == 0) {
+    return run_trials_impl(std::move(config), model, strategy, trials,
+                           &TrialRunner::shared());
+  }
+  TrialRunner runner(jobs);
+  return run_trials_impl(std::move(config), model, strategy, trials, &runner);
+}
+
+namespace {
+
+/// Shortest decimal form that round-trips to the same double (via
+/// std::to_chars); NaN / infinity become null, which JSON requires.
+void json_number(std::ostream& os, double value) {
+  if (!std::isfinite(value)) {
+    os << "null";
+    return;
+  }
+  char buffer[32];
+  const auto result = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  os.write(buffer, result.ptr - buffer);
+}
+
+}  // namespace
+
+void TrialStats::print_json(std::ostream& os) const {
+  os << "{\"mean\":";
+  json_number(os, mean);
+  os << ",\"stddev\":";
+  json_number(os, stddev);
+  os << ",\"min\":";
+  json_number(os, min);
+  os << ",\"max\":";
+  json_number(os, max);
+  os << ",\"trials\":" << trials << ",\"unfinished\":" << unfinished
+     << ",\"stalled\":" << stalled << ",\"mean_adaptations\":";
+  json_number(os, mean_adaptations);
+  os << "}";
 }
 
 void SeriesReport::print_table(std::ostream& os) const {
@@ -100,6 +188,63 @@ void SeriesReport::print_csv(std::ostream& os) const {
          << (i < s.y.size() ? s.y[i] : std::numeric_limits<double>::quiet_NaN());
     os << '\n';
   }
+}
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+void json_string(std::ostream& os, const std::string& text) {
+  os << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: {
+        const auto uc = static_cast<unsigned char>(c);
+        if (uc < 0x20) {
+          const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[uc >> 4] << hex[uc & 0xF];
+        } else {
+          os << c;
+        }
+      }
+    }
+  }
+  os << '"';
+}
+
+void json_array(std::ostream& os, const std::vector<double>& values) {
+  os << '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) os << ',';
+    json_number(os, values[i]);
+  }
+  os << ']';
+}
+
+}  // namespace
+
+void SeriesReport::print_json(std::ostream& os) const {
+  os << "{\"title\":";
+  json_string(os, title);
+  os << ",\"x_label\":";
+  json_string(os, x_label);
+  os << ",\"x\":";
+  json_array(os, x);
+  os << ",\"series\":[";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (i > 0) os << ',';
+    os << "{\"name\":";
+    json_string(os, series[i].name);
+    os << ",\"mean_makespan_s\":";
+    json_array(os, series[i].y);
+    os << ",\"mean_adaptations\":";
+    json_array(os, series[i].adaptations);
+    os << '}';
+  }
+  os << "]}";
 }
 
 }  // namespace simsweep::core

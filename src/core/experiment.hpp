@@ -4,7 +4,7 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -50,13 +50,43 @@ struct TrialStats {
   double max = 0.0;
   std::size_t trials = 0;
   std::size_t unfinished = 0;
+  /// Runs whose simulation went idle before the horizon with the
+  /// application unfinished (deadlocked strategies); always a subset of
+  /// `unfinished`.
+  std::size_t stalled = 0;
   double mean_adaptations = 0.0;
+
+  /// One-line JSON object with every field above.
+  void print_json(std::ostream& os) const;
 };
+
+/// Folds per-trial results, in trial order, into summary statistics.
+/// Variance uses Welford's online algorithm, so makespans around 1e9 s do
+/// not suffer the catastrophic cancellation of the naive sum-of-squares
+/// form.  Both run_trials and run_trials_parallel reduce through this, in
+/// the same order, so their outputs are bitwise identical.
+[[nodiscard]] TrialStats reduce_trials(
+    const std::vector<strategy::RunResult>& results);
 
 [[nodiscard]] TrialStats run_trials(ExperimentConfig config,
                                     const load::LoadModel& model,
                                     strategy::Strategy& strategy,
                                     std::size_t trials);
+
+/// run_trials with the independent trials fanned out over a worker pool.
+/// Each trial still derives its seed as config.seed + t and results are
+/// reduced in trial order, so the returned TrialStats is bitwise identical
+/// to the serial path.  `jobs` == 0 uses the process-wide shared pool
+/// (sized by SIMSWEEP_JOBS or hardware concurrency); any other value runs
+/// on a dedicated pool of exactly that many executors.  Requires
+/// `strategy.launch` to be safe to call concurrently, which holds for all
+/// in-tree strategies (launch only reads configuration and builds
+/// per-run state).
+[[nodiscard]] TrialStats run_trials_parallel(ExperimentConfig config,
+                                             const load::LoadModel& model,
+                                             strategy::Strategy& strategy,
+                                             std::size_t trials,
+                                             std::size_t jobs = 0);
 
 /// A figure-shaped result: one x axis, one y series per strategy.
 struct SeriesReport {
@@ -75,6 +105,10 @@ struct SeriesReport {
 
   /// Machine-readable CSV block (x, then one column per series).
   void print_csv(std::ostream& os) const;
+
+  /// Machine-readable JSON object: title, x_label, x, and per-series mean
+  /// makespans and adaptation counts.  Doubles round-trip exactly.
+  void print_json(std::ostream& os) const;
 };
 
 }  // namespace simsweep::core

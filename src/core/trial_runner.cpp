@@ -1,0 +1,102 @@
+#include "core/trial_runner.hpp"
+
+#include <cstdlib>
+#include <exception>
+
+namespace simsweep::core {
+
+TrialRunner::TrialRunner(std::size_t parallelism) {
+  if (parallelism == 0) parallelism = default_parallelism();
+  workers_.reserve(parallelism - 1);
+  for (std::size_t i = 0; i + 1 < parallelism; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+TrialRunner::~TrialRunner() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::size_t TrialRunner::default_parallelism() {
+  if (const char* env = std::getenv("SIMSWEEP_JOBS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+TrialRunner& TrialRunner::shared() {
+  static TrialRunner runner;
+  return runner;
+}
+
+void TrialRunner::run_one(Batch& batch, std::size_t i) {
+  std::exception_ptr error;
+  try {
+    (*batch.body)(i);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (error && !batch.error) batch.error = error;
+    ++batch.done;
+  }
+  done_cv_.notify_all();
+}
+
+void TrialRunner::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+    Batch* batch = queue_.front();
+    if (batch->next >= batch->count) {
+      // Fully claimed; the owning caller removes it once done.
+      queue_.pop_front();
+      continue;
+    }
+    const std::size_t i = batch->next++;
+    lock.unlock();
+    run_one(*batch, i);
+    lock.lock();
+  }
+}
+
+void TrialRunner::parallel_for(std::size_t count,
+                               const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  Batch batch;
+  batch.body = &body;
+  batch.count = count;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(&batch);
+  }
+  work_cv_.notify_all();
+
+  // The caller claims indices alongside the workers, so progress never
+  // depends on a worker being free (nested calls, parallelism == 1).
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (batch.next < batch.count) {
+    const std::size_t i = batch.next++;
+    lock.unlock();
+    run_one(batch, i);
+    lock.lock();
+  }
+  done_cv_.wait(lock, [&batch] { return batch.done == batch.count; });
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (*it == &batch) {
+      queue_.erase(it);
+      break;
+    }
+  }
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+}  // namespace simsweep::core

@@ -1,0 +1,83 @@
+// Fixed-size worker pool for fanning out independent simulation trials.
+//
+// Every trial of an experiment is a self-contained simulation with its own
+// derived seed, so trials (and whole sweep points) can execute on any
+// thread in any order.  TrialRunner provides the one primitive the
+// experiment layer needs: run `body(i)` for every index of a range across
+// a fixed set of workers.  Determinism is the caller's job and is easy:
+// write results into slot `i` of a preallocated vector and reduce in index
+// order afterwards — see core::run_trials_parallel.
+//
+// The calling thread participates in its own batch, so a TrialRunner with
+// parallelism 1 spawns no threads at all, and nested parallel_for calls
+// (a bench dispatching sweep points whose bodies fan out trials) cannot
+// deadlock: every caller always has work it can execute itself.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace simsweep::core {
+
+class TrialRunner {
+ public:
+  /// A runner with `parallelism` concurrent executors (the calling thread
+  /// counts as one, so `parallelism - 1` worker threads are spawned).
+  /// Zero selects default_parallelism().
+  explicit TrialRunner(std::size_t parallelism = 0);
+  ~TrialRunner();
+
+  TrialRunner(const TrialRunner&) = delete;
+  TrialRunner& operator=(const TrialRunner&) = delete;
+
+  /// Total concurrent executors, including the caller.  Always >= 1.
+  [[nodiscard]] std::size_t parallelism() const noexcept {
+    return workers_.size() + 1;
+  }
+
+  /// Runs `body(i)` once for every i in [0, count), distributed over the
+  /// workers and the calling thread.  Returns when all calls completed.
+  /// The first exception thrown by any call is rethrown here (remaining
+  /// indices still run).  Safe to call from inside a body running on this
+  /// runner (nested batches share the worker set).
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+  /// SIMSWEEP_JOBS when set to a positive integer, otherwise
+  /// std::thread::hardware_concurrency() (at least 1).
+  [[nodiscard]] static std::size_t default_parallelism();
+
+  /// Process-wide runner sized by default_parallelism() on first use.
+  [[nodiscard]] static TrialRunner& shared();
+
+ private:
+  /// One parallel_for call: a range of indices claimed one at a time under
+  /// the pool mutex.  Lives on the caller's stack for the duration of the
+  /// call; the queue only ever holds batches whose callers are blocked in
+  /// parallel_for.
+  struct Batch {
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::size_t count = 0;
+    std::size_t next = 0;  ///< next unclaimed index
+    std::size_t done = 0;  ///< completed calls
+    std::exception_ptr error;
+  };
+
+  void worker_loop();
+  /// Executes index `i` of `batch` and updates completion state.
+  void run_one(Batch& batch, std::size_t i);
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< queue non-empty or stopping
+  std::condition_variable done_cv_;  ///< some batch finished a call
+  std::deque<Batch*> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace simsweep::core

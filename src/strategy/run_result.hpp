@@ -30,6 +30,12 @@ struct RunResult {
 
   /// False when the run hit the simulation horizon before completing.
   bool finished = false;
+
+  /// True when the simulation went idle before the horizon with the
+  /// application unfinished: the strategy deadlocked (e.g. a boundary hook
+  /// never resumed).  Distinct from a horizon timeout, which is merely a
+  /// slow run; a stalled run's makespan is meaningless.
+  bool stalled = false;
 };
 
 }  // namespace simsweep::strategy

@@ -1,5 +1,6 @@
 #include "swap/payback.hpp"
 
+#include <limits>
 #include <stdexcept>
 
 namespace simsweep::swap {

@@ -1,7 +1,11 @@
 #include "swap/planner.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <limits>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "swap/payback.hpp"
 

@@ -1,11 +1,18 @@
-// Tests for the experiment runner: determinism, trial statistics, reports.
+// Tests for the experiment runner: determinism, trial statistics, reports,
+// and the parallel trial engine.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cmath>
+#include <functional>
 #include <sstream>
+#include <vector>
 
 #include "core/experiment.hpp"
+#include "core/trial_runner.hpp"
 #include "load/misc_models.hpp"
 #include "load/onoff.hpp"
+#include "strategy/schedule.hpp"
 #include "swap/policy.hpp"
 
 namespace core = simsweep::core;
@@ -26,6 +33,26 @@ core::ExperimentConfig small_config() {
   cfg.seed = 42;
   return cfg;
 }
+
+/// A strategy whose boundary hook never resumes: after the first iteration
+/// the simulation goes idle with the application unfinished (a deadlock).
+class StallingStrategy final : public strat::Strategy {
+ public:
+  [[nodiscard]] std::string name() const override { return "STALL"; }
+  [[nodiscard]] std::unique_ptr<strat::IterativeExecution> launch(
+      strat::StrategyContext& ctx) override {
+    auto alloc = strat::pick_allocation(ctx.cluster, ctx.spec.active_processes,
+                                        0, ctx.initial_schedule);
+    auto exec = std::make_unique<strat::IterativeExecution>(
+        ctx.simulator, ctx.cluster, ctx.network, ctx.spec, alloc.active,
+        app::WorkPartition::equal(ctx.spec.active_processes),
+        [](strat::IterativeExecution&, std::function<void()>) {
+          // Drop `resume`: the run can never continue.
+        });
+    exec->start(0.0);
+    return exec;
+  }
+};
 
 }  // namespace
 
@@ -112,6 +139,157 @@ TEST(RunTrials, RejectsZeroTrials) {
   strat::NoneStrategy none;
   EXPECT_THROW((void)core::run_trials(cfg, quiet, none, 0),
                std::invalid_argument);
+}
+
+TEST(RunSingle, StalledRunIsDistinguishedFromHorizonTimeout) {
+  auto cfg = small_config();
+  load::ConstantModel quiet(0);
+  StallingStrategy stall;
+  const auto r = core::run_single(cfg, quiet, stall);
+  EXPECT_FALSE(r.finished);
+  EXPECT_TRUE(r.stalled);
+  EXPECT_LT(r.makespan_s, cfg.horizon_s);
+
+  // A genuine horizon timeout is NOT a stall.
+  cfg.horizon_s = 10.0;
+  strat::NoneStrategy none;
+  const auto slow = core::run_single(cfg, quiet, none);
+  EXPECT_FALSE(slow.finished);
+  EXPECT_FALSE(slow.stalled);
+}
+
+TEST(RunTrials, CountsStalledRuns) {
+  auto cfg = small_config();
+  load::ConstantModel quiet(0);
+  StallingStrategy stall;
+  const auto stats = core::run_trials(cfg, quiet, stall, 3);
+  EXPECT_EQ(stats.stalled, 3u);
+  EXPECT_EQ(stats.unfinished, 3u);
+}
+
+TEST(ReduceTrials, WelfordSurvivesHugeMakespans) {
+  // Makespans near 1e9 with sub-second spread: the naive sum_sq/n - mean^2
+  // form loses every digit of the variance to cancellation (1e18-magnitude
+  // intermediates), reporting stddev 0 or garbage.  Welford keeps it exact.
+  std::vector<strat::RunResult> results(3);
+  results[0].makespan_s = 1.0e9;
+  results[1].makespan_s = 1.0e9 + 0.25;
+  results[2].makespan_s = 1.0e9 + 0.5;
+  for (auto& r : results) r.finished = true;
+  const auto stats = core::reduce_trials(results);
+  EXPECT_DOUBLE_EQ(stats.mean, 1.0e9 + 0.25);
+  // Population variance of {0, 0.25, 0.5} about 0.25 = 0.0416666..
+  EXPECT_NEAR(stats.stddev, std::sqrt(0.125 / 3.0), 1e-9);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0e9);
+  EXPECT_DOUBLE_EQ(stats.max, 1.0e9 + 0.5);
+}
+
+TEST(ReduceTrials, RejectsEmptyInput) {
+  EXPECT_THROW((void)core::reduce_trials({}), std::invalid_argument);
+}
+
+TEST(RunTrialsParallel, BitwiseIdenticalToSerial) {
+  auto cfg = small_config();
+  load::OnOffModel model(load::OnOffParams::dynamism(0.4));
+  strat::SwapStrategy swap{simsweep::swap::greedy_policy()};
+  const auto serial = core::run_trials(cfg, model, swap, 6);
+  const auto parallel = core::run_trials_parallel(cfg, model, swap, 6,
+                                                  /*jobs=*/4);
+  // EXPECT_EQ on doubles is exact comparison: bitwise-identical results.
+  EXPECT_EQ(serial.mean, parallel.mean);
+  EXPECT_EQ(serial.stddev, parallel.stddev);
+  EXPECT_EQ(serial.min, parallel.min);
+  EXPECT_EQ(serial.max, parallel.max);
+  EXPECT_EQ(serial.trials, parallel.trials);
+  EXPECT_EQ(serial.unfinished, parallel.unfinished);
+  EXPECT_EQ(serial.stalled, parallel.stalled);
+  EXPECT_EQ(serial.mean_adaptations, parallel.mean_adaptations);
+}
+
+TEST(RunTrialsParallel, SharedPoolPathMatchesSerial) {
+  auto cfg = small_config();
+  load::OnOffModel model(load::OnOffParams::dynamism(0.3));
+  strat::NoneStrategy none;
+  const auto serial = core::run_trials(cfg, model, none, 4);
+  const auto pooled = core::run_trials_parallel(cfg, model, none, 4);
+  EXPECT_EQ(serial.mean, pooled.mean);
+  EXPECT_EQ(serial.stddev, pooled.stddev);
+}
+
+TEST(RunTrialsParallel, RejectsZeroTrials) {
+  auto cfg = small_config();
+  load::ConstantModel quiet(0);
+  strat::NoneStrategy none;
+  EXPECT_THROW((void)core::run_trials_parallel(cfg, quiet, none, 0, 2),
+               std::invalid_argument);
+}
+
+TEST(TrialRunner, CoversEveryIndexExactlyOnce) {
+  core::TrialRunner runner(4);
+  EXPECT_EQ(runner.parallelism(), 4u);
+  std::vector<std::atomic<int>> hits(257);
+  runner.parallel_for(hits.size(),
+                      [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(TrialRunner, NestedParallelForDoesNotDeadlock) {
+  core::TrialRunner runner(2);
+  std::atomic<int> total{0};
+  runner.parallel_for(4, [&](std::size_t) {
+    runner.parallel_for(8, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(TrialRunner, PropagatesFirstException) {
+  core::TrialRunner runner(3);
+  EXPECT_THROW(runner.parallel_for(16,
+                                   [](std::size_t i) {
+                                     if (i % 2 == 1)
+                                       throw std::runtime_error("boom");
+                                   }),
+               std::runtime_error);
+}
+
+TEST(TrialRunner, ParallelismOneRunsInline) {
+  core::TrialRunner runner(1);
+  EXPECT_EQ(runner.parallelism(), 1u);
+  int count = 0;  // no synchronization: everything runs on this thread
+  runner.parallel_for(10, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 10);
+}
+
+TEST(TrialStats, PrintsJson) {
+  core::TrialStats stats;
+  stats.mean = 123.5;
+  stats.stddev = 4.25;
+  stats.min = 100.0;
+  stats.max = 150.0;
+  stats.trials = 8;
+  stats.unfinished = 1;
+  stats.stalled = 1;
+  stats.mean_adaptations = 2.5;
+  std::ostringstream os;
+  stats.print_json(os);
+  EXPECT_EQ(os.str(),
+            "{\"mean\":123.5,\"stddev\":4.25,\"min\":100,\"max\":150,"
+            "\"trials\":8,\"unfinished\":1,\"stalled\":1,"
+            "\"mean_adaptations\":2.5}");
+}
+
+TEST(SeriesReport, PrintsJson) {
+  core::SeriesReport rep;
+  rep.title = "demo \"quoted\"";
+  rep.x_label = "x";
+  rep.x = {0.1, 0.2};
+  rep.series.push_back({"NONE", {100.0, 200.0}, {0.0, 0.0}});
+  std::ostringstream os;
+  rep.print_json(os);
+  EXPECT_EQ(os.str(),
+            "{\"title\":\"demo \\\"quoted\\\"\",\"x_label\":\"x\","
+            "\"x\":[0.1,0.2],\"series\":[{\"name\":\"NONE\","
+            "\"mean_makespan_s\":[100,200],\"mean_adaptations\":[0,0]}]}");
 }
 
 TEST(SeriesReport, PrintsTableAndCsv) {

@@ -137,6 +137,55 @@ TEST(PerfHistory, RejectsOutOfOrderSamples) {
   EXPECT_THROW(h.record(1.0, 2.0), std::invalid_argument);
 }
 
+TEST(PerfHistory, WindowStraddlingFirstSampleBackfills) {
+  swp::PerfHistory h;
+  h.record(10.0, 4.0);
+  h.record(11.0, 8.0);
+  // Window [8, 12]: the first sample's value backfills [8, 10), then 1 s of
+  // 4.0 and 1 s of 8.0: (2*4 + 1*4 + 1*8) / 4 = 5.
+  EXPECT_DOUBLE_EQ(h.windowed_mean(12.0, 4.0), 5.0);
+}
+
+TEST(PerfHistory, NowBeforeFirstSampleReturnsFirstValue) {
+  swp::PerfHistory h;
+  h.record(10.0, 6.0);
+  // All the history is in the future of `now`; the only information we
+  // have is the first sample's value.
+  EXPECT_DOUBLE_EQ(h.windowed_mean(5.0, 3.0), 6.0);
+  EXPECT_DOUBLE_EQ(h.windowed_mean(10.0, 3.0), 6.0);
+}
+
+TEST(PerfHistory, ZeroWidthWindowFallsBackWhenEmpty) {
+  swp::PerfHistory h;
+  EXPECT_DOUBLE_EQ(h.windowed_mean(0.0, 0.0, 9.5), 9.5);
+  EXPECT_DOUBLE_EQ(h.latest(3.25), 3.25);
+  h.record(0.0, 2.0);
+  // Zero-width window at the exact sample time: the step value at t=0.
+  EXPECT_DOUBLE_EQ(h.windowed_mean(0.0, 0.0), 2.0);
+}
+
+TEST(PerfHistory, PruneAtExactSampleTimeKeepsStepValue) {
+  swp::PerfHistory h;
+  h.record(0.0, 1.0);
+  h.record(10.0, 2.0);
+  // At horizon 10 the t=10 sample is the value in effect; the t=0 sample
+  // ended exactly there and may be dropped.
+  h.prune_before(10.0);
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_DOUBLE_EQ(h.latest(), 2.0);
+  // The survivor's value extends backwards over the pruned region.
+  EXPECT_DOUBLE_EQ(h.windowed_mean(12.0, 4.0), 2.0);
+}
+
+TEST(PerfHistory, PruneNeverEmptiesHistory) {
+  swp::PerfHistory h;
+  h.record(0.0, 1.0);
+  h.record(1.0, 2.0);
+  h.prune_before(100.0);
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_DOUBLE_EQ(h.latest(), 2.0);
+}
+
 // ---------------------------------------------------------------- planner
 
 namespace {
