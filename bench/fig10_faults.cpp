@@ -1,0 +1,70 @@
+// Figure 10 (extension): techniques under fault injection, sweeping the
+// per-host mean time between failures.  4 active of 32 total, 8 spares,
+// 1 MB state, moderate ON/OFF dynamism.  The x axis runs from "no faults"
+// (MTBF 0 = disabled, bitwise identical to the fault-free figures) down to
+// hosts crashing every few hours; a small transient transfer/checkpoint
+// failure probability rides along at every faulty point.
+//
+// Unlike the paper figures, runs here are *expected* to end badly sometimes
+// (spare-pool exhaustion is a diagnostic result, not a bug), so this bench
+// emits two reports — mean makespan, and the completion rate per technique
+// with mean crash recoveries alongside — and does not forbid stalls.
+#include "bench/bench_util.hpp"
+
+int main() {
+  auto cfg = bench::paper_config(/*active=*/4, /*iterations=*/60,
+                                 /*iter_minutes=*/2.0,
+                                 /*state_bytes=*/bench::app::kMiB,
+                                 /*spares=*/8);
+  // MTBF per host, in hours; 0 disables fault injection entirely.
+  const std::vector<double> mtbf_hours{0.0, 48.0, 24.0, 12.0, 6.0, 3.0};
+  const std::size_t trials = bench::trial_count();
+  const bench::load::OnOffModel model(
+      bench::load::OnOffParams::dynamism(0.2));
+
+  auto lineup = bench::technique_lineup();
+  const auto grid = bench::run_grid(
+      mtbf_hours.size(), lineup.size(), [&](std::size_t xi, std::size_t si) {
+        auto point = cfg;
+        point.faults.host_mtbf_s = mtbf_hours[xi] * 3600.0;
+        if (mtbf_hours[xi] > 0.0) {
+          point.faults.swap_fail_prob = 0.05;
+          point.faults.checkpoint_fail_prob = 0.05;
+        }
+        return bench::core::run_trials(point, model, *lineup[si].strategy,
+                                       trials);
+      });
+
+  bench::core::SeriesReport makespan;
+  makespan.title =
+      "Fig 10: techniques under host crashes (4/32 active, 8 spares, 1 MB)";
+  makespan.x_label = "host_mtbf_hours";
+  makespan.x = mtbf_hours;
+  bench::core::SeriesReport completion;
+  completion.title = "Fig 10b: completion rate and crash recoveries";
+  completion.x_label = "host_mtbf_hours";
+  completion.x = mtbf_hours;
+  for (auto& entry : lineup) {
+    makespan.series.push_back({entry.name, {}, {}});
+    completion.series.push_back({entry.name, {}, {}});
+  }
+  for (std::size_t xi = 0; xi < mtbf_hours.size(); ++xi) {
+    for (std::size_t si = 0; si < lineup.size(); ++si) {
+      const auto& cell = grid[xi][si];
+      makespan.series[si].y.push_back(cell.mean);
+      makespan.series[si].adaptations.push_back(cell.mean_adaptations);
+      completion.series[si].y.push_back(
+          static_cast<double>(cell.trials - cell.unfinished) /
+          static_cast<double>(cell.trials));
+      completion.series[si].adaptations.push_back(cell.mean_recoveries);
+    }
+  }
+  bench::emit(makespan,
+              "SWAP and DLB absorb crashes by drafting spares at small cost; "
+              "CR pays rollback time per crash; NONE recomputes from scratch "
+              "and degrades worst as MTBF shrinks");
+  bench::emit(completion,
+              "completion rate stays near 1.0 while spares last; the "
+              "adaptations column here counts mean crash recoveries per run");
+  return 0;
+}

@@ -29,6 +29,18 @@ core::ExperimentConfig build_config(Args& args) {
                                                active)));
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   cfg.horizon_s = args.get_double("horizon-hours", 2880.0) * 3600.0;
+  // Fault injection (all off by default).
+  cfg.faults.host_mtbf_s = args.get_double("mtbf-hours", 0.0) * 3600.0;
+  cfg.faults.swap_fail_prob = args.get_double("swap-fail-prob", 0.0);
+  cfg.faults.checkpoint_fail_prob = args.get_double("ckpt-fail-prob", 0.0);
+  cfg.faults.max_transfer_retries = static_cast<std::size_t>(
+      args.get_int("fault-retries",
+                   static_cast<long>(cfg.faults.max_transfer_retries)));
+  cfg.faults.blacklist_after = static_cast<std::size_t>(args.get_int(
+      "blacklist-after", static_cast<long>(cfg.faults.blacklist_after)));
+  cfg.faults.validate();
+  cfg.max_events = static_cast<std::uint64_t>(
+      args.get_int("max-events", static_cast<long>(cfg.max_events)));
   if (active + cfg.spare_count > cfg.cluster.host_count)
     throw std::invalid_argument(
         "config: active + spares exceeds --hosts");

@@ -57,6 +57,14 @@ strategy flags (run):
   --predictor=window|nws|ewma|median  [--ewma-tau --median-k]
   --guard [--stall-factor=3]          (eviction watchdog)
 
+fault-injection flags (run, sweep; all off by default):
+  --mtbf-hours=24       per-host mean time between permanent crashes
+  --swap-fail-prob=0.1  probability one swap state transfer attempt fails
+  --ckpt-fail-prob=0.1  probability one checkpoint write fails (CR)
+  --fault-retries=3     resends allowed per transfer before abandoning
+  --blacklist-after=6   failed attempts before a host is blacklisted
+  --max-events=N        simulator event budget (runaway-schedule guard)
+
 examples:
   simsweep run --strategy=swap --policy=safe --dynamism=0.2 --trials=10
   simsweep sweep --points=0,0.05,0.1,0.2,0.4,0.8 --state-mb=100
@@ -98,6 +106,17 @@ int cmd_run(cli::Args& args) {
   std::printf("makespan stddev %.1f s\n", stats.stddev);
   std::printf("makespan range  [%.1f, %.1f] s\n", stats.min, stats.max);
   std::printf("adaptations     %.1f per run\n", stats.mean_adaptations);
+  if (cfg.faults.enabled()) {
+    std::printf("host crashes    %.1f per run\n", stats.mean_crashes);
+    std::printf("xfer failures   %.1f per run\n", stats.mean_transfer_failures);
+    std::printf("ckpt failures   %.1f per run\n",
+                stats.mean_checkpoint_failures);
+    std::printf("recoveries      %.1f per run\n", stats.mean_recoveries);
+    std::printf("time lost       %.1f s per run\n", stats.mean_time_lost_s);
+  }
+  if (stats.resource_exhausted > 0)
+    std::printf("WARNING: %zu run(s) exhausted the spare pool and stopped\n",
+                stats.resource_exhausted);
   if (stats.stalled > 0)
     std::printf("WARNING: %zu run(s) stalled before the horizon "
                 "(strategy deadlock)\n",

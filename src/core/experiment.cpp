@@ -5,6 +5,7 @@
 #include <cmath>
 #include <iomanip>
 #include <limits>
+#include <memory>
 #include <ostream>
 #include <stdexcept>
 #include <utility>
@@ -19,7 +20,9 @@ strategy::RunResult run_single(const ExperimentConfig& config,
                                const load::LoadModel& model,
                                strategy::Strategy& strat) {
   config.app.validate();
+  config.faults.validate();
   sim::Simulator simulator;
+  simulator.set_event_budget(config.max_events);
   sim::Rng platform_rng(config.seed, /*stream=*/0);
   platform::Cluster cluster(simulator, config.cluster, platform_rng);
   // Load sources set their initial state synchronously here, before the
@@ -27,6 +30,16 @@ strategy::RunResult run_single(const ExperimentConfig& config,
   auto sources = load::LoadModel::attach_all(model, simulator, cluster,
                                              sim::derive_seed(config.seed, 1));
   net::SharedLinkNetwork network(simulator, config.cluster.link);
+  // Fault streams derive from the trial seed (stream 2; platform is 0 and
+  // load is 1).  A disabled spec builds no injector at all, leaving the
+  // run bitwise identical to the fault-free path.
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (config.faults.enabled()) {
+    injector = std::make_unique<fault::FaultInjector>(
+        simulator, cluster, config.faults, sim::derive_seed(config.seed, 2),
+        config.horizon_s);
+    injector->arm();
+  }
   strategy::StrategyContext ctx{
       .simulator = simulator,
       .cluster = cluster,
@@ -34,23 +47,29 @@ strategy::RunResult run_single(const ExperimentConfig& config,
       .spec = config.app,
       .spare_count = config.spare_count,
       .initial_schedule = config.initial_schedule,
+      .faults = injector.get(),
   };
   auto exec = strat.launch(ctx);
-  // Load sources generate events forever; stop as soon as the app is done.
-  // run_until(horizon) bounds pathological runs.
-  while (!exec->done() && simulator.now() < config.horizon_s &&
-         !simulator.idle()) {
+  // Load sources generate events forever; stop as soon as the app is done
+  // or the strategy gives up.  run_until(horizon) bounds pathological runs.
+  while (!exec->done() && !exec->result().resource_exhausted &&
+         simulator.now() < config.horizon_s && !simulator.idle()) {
     simulator.run_until(
         std::min(config.horizon_s, simulator.now() + 24.0 * 3600.0));
     if (exec->done()) break;
   }
   strategy::RunResult result = exec->result();
+  if (injector) result.failures.host_crashes = injector->crashes_injected();
   if (!result.finished) {
-    // Two distinct failure shapes: the run outlived the horizon (slow but
-    // live), or the event queue drained with iterations outstanding (the
-    // strategy deadlocked — e.g. a boundary hook that never resumed).
-    result.stalled = simulator.now() < config.horizon_s;
-    result.makespan_s = simulator.now();
+    // Distinct failure shapes: the run outlived the horizon (slow but
+    // live), the event queue drained with iterations outstanding (the
+    // strategy deadlocked — e.g. a boundary hook that never resumed), or
+    // crash recovery ran out of usable hosts and gave up cleanly.
+    result.stalled =
+        simulator.now() < config.horizon_s || result.resource_exhausted;
+    // Resource-exhausted runs already stamped their give-up instant; for
+    // the rest the best available makespan is wherever the loop stopped.
+    if (!result.resource_exhausted) result.makespan_s = simulator.now();
   }
   return result;
 }
@@ -66,21 +85,35 @@ TrialStats reduce_trials(const std::vector<strategy::RunResult>& results) {
   // tiny relative to the magnitude (makespans near 1e9 s would lose all
   // variance digits to cancellation in the sum-of-squares form).
   double mean = 0.0, m2 = 0.0, adapt_sum = 0.0;
+  double crash_sum = 0.0, tf_sum = 0.0, rec_sum = 0.0, ckpt_sum = 0.0,
+         lost_sum = 0.0;
   std::size_t n = 0;
   for (const strategy::RunResult& r : results) {
     if (!r.finished) ++stats.unfinished;
     if (r.stalled) ++stats.stalled;
+    if (r.resource_exhausted) ++stats.resource_exhausted;
     ++n;
     const double delta = r.makespan_s - mean;
     mean += delta / static_cast<double>(n);
     m2 += delta * (r.makespan_s - mean);
     adapt_sum += static_cast<double>(r.adaptations);
+    crash_sum += static_cast<double>(r.failures.host_crashes);
+    tf_sum += static_cast<double>(r.failures.transfers_failed);
+    rec_sum += static_cast<double>(r.failures.crash_recoveries);
+    ckpt_sum += static_cast<double>(r.failures.checkpoint_failures);
+    lost_sum += r.failures.time_lost_s;
     stats.min = std::min(stats.min, r.makespan_s);
     stats.max = std::max(stats.max, r.makespan_s);
   }
   stats.mean = mean;
   stats.stddev = std::sqrt(std::max(0.0, m2 / static_cast<double>(n)));
-  stats.mean_adaptations = adapt_sum / static_cast<double>(n);
+  const double dn = static_cast<double>(n);
+  stats.mean_adaptations = adapt_sum / dn;
+  stats.mean_crashes = crash_sum / dn;
+  stats.mean_transfer_failures = tf_sum / dn;
+  stats.mean_recoveries = rec_sum / dn;
+  stats.mean_checkpoint_failures = ckpt_sum / dn;
+  stats.mean_time_lost_s = lost_sum / dn;
   return stats;
 }
 
@@ -156,8 +189,20 @@ void TrialStats::print_json(std::ostream& os) const {
   os << ",\"max\":";
   json_number(os, max);
   os << ",\"trials\":" << trials << ",\"unfinished\":" << unfinished
-     << ",\"stalled\":" << stalled << ",\"mean_adaptations\":";
+     << ",\"stalled\":" << stalled
+     << ",\"resource_exhausted\":" << resource_exhausted
+     << ",\"mean_adaptations\":";
   json_number(os, mean_adaptations);
+  os << ",\"mean_crashes\":";
+  json_number(os, mean_crashes);
+  os << ",\"mean_transfer_failures\":";
+  json_number(os, mean_transfer_failures);
+  os << ",\"mean_recoveries\":";
+  json_number(os, mean_recoveries);
+  os << ",\"mean_checkpoint_failures\":";
+  json_number(os, mean_checkpoint_failures);
+  os << ",\"mean_time_lost_s\":";
+  json_number(os, mean_time_lost_s);
   os << "}";
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "app/app_spec.hpp"
+#include "fault/fault.hpp"
 #include "load/load_model.hpp"
 #include "platform/cluster.hpp"
 #include "strategy/strategy.hpp"
@@ -34,6 +35,15 @@ struct ExperimentConfig {
   /// Safety cap on simulated time; runs that exceed it are reported
   /// unfinished with makespan == horizon.
   double horizon_s = 120.0 * 24.0 * 3600.0;
+
+  /// Fault model (disabled by default).  When enabled each trial derives
+  /// its fault streams from the trial seed, so fault histories are as
+  /// deterministic as everything else.
+  fault::FaultSpec faults;
+
+  /// Safety cap on events fired per trial; a runaway simulation throws
+  /// sim::EventBudgetExceeded instead of spinning forever.  0 = unlimited.
+  std::uint64_t max_events = 250'000'000;
 };
 
 /// One simulated run of `strategy` under `model`.  Fully deterministic in
@@ -51,10 +61,20 @@ struct TrialStats {
   std::size_t trials = 0;
   std::size_t unfinished = 0;
   /// Runs whose simulation went idle before the horizon with the
-  /// application unfinished (deadlocked strategies); always a subset of
-  /// `unfinished`.
+  /// application unfinished (deadlocked strategies) or that gave up after
+  /// exhausting recovery resources; always a subset of `unfinished`.
   std::size_t stalled = 0;
+  /// Runs that gave up because no usable host remained for crash recovery;
+  /// a subset of `stalled`.
+  std::size_t resource_exhausted = 0;
   double mean_adaptations = 0.0;
+
+  // Fault-injection aggregates; all zero when faults are disabled.
+  double mean_crashes = 0.0;
+  double mean_transfer_failures = 0.0;
+  double mean_recoveries = 0.0;
+  double mean_checkpoint_failures = 0.0;
+  double mean_time_lost_s = 0.0;
 
   /// One-line JSON object with every field above.
   void print_json(std::ostream& os) const;

@@ -44,7 +44,12 @@ void TrialRunner::run_one(Batch& batch, std::size_t i) {
   }
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    if (error && !batch.error) batch.error = error;
+    if (error && !batch.error) {
+      batch.error = error;
+      // Cancel every index not yet claimed: the batch fails anyway, so
+      // finishing the remaining work would only delay the rethrow.
+      batch.next = batch.count;
+    }
     ++batch.done;
   }
   done_cv_.notify_all();
@@ -62,6 +67,7 @@ void TrialRunner::worker_loop() {
       continue;
     }
     const std::size_t i = batch->next++;
+    ++batch->started;
     lock.unlock();
     run_one(*batch, i);
     lock.lock();
@@ -85,11 +91,14 @@ void TrialRunner::parallel_for(std::size_t count,
   std::unique_lock<std::mutex> lock(mutex_);
   while (batch.next < batch.count) {
     const std::size_t i = batch.next++;
+    ++batch.started;
     lock.unlock();
     run_one(batch, i);
     lock.lock();
   }
-  done_cv_.wait(lock, [&batch] { return batch.done == batch.count; });
+  // Cancellation moves `next` to `count` without claiming, so wait on the
+  // calls actually started, not the full range.
+  done_cv_.wait(lock, [&batch] { return batch.done == batch.started; });
   for (auto it = queue_.begin(); it != queue_.end(); ++it) {
     if (*it == &batch) {
       queue_.erase(it);

@@ -42,8 +42,9 @@ class TrialRunner {
 
   /// Runs `body(i)` once for every i in [0, count), distributed over the
   /// workers and the calling thread.  Returns when all calls completed.
-  /// The first exception thrown by any call is rethrown here (remaining
-  /// indices still run).  Safe to call from inside a body running on this
+  /// The first exception thrown by any call cancels every index not yet
+  /// claimed, waits for in-flight calls to drain, and is rethrown here on
+  /// the calling thread.  Safe to call from inside a body running on this
   /// runner (nested batches share the worker set).
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& body);
@@ -63,8 +64,9 @@ class TrialRunner {
   struct Batch {
     const std::function<void(std::size_t)>* body = nullptr;
     std::size_t count = 0;
-    std::size_t next = 0;  ///< next unclaimed index
-    std::size_t done = 0;  ///< completed calls
+    std::size_t next = 0;     ///< next unclaimed index
+    std::size_t started = 0;  ///< claimed calls (never un-claimed)
+    std::size_t done = 0;     ///< completed calls
     std::exception_ptr error;
   };
 

@@ -1,5 +1,6 @@
 #include "load/trace_io.hpp"
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -9,10 +10,12 @@ namespace simsweep::load {
 
 namespace {
 
+/// strtod accepts "nan"/"inf", which would poison availability math
+/// downstream, so a successful parse additionally requires a finite value.
 bool parse_double(const std::string& text, double& out) {
   char* end = nullptr;
   out = std::strtod(text.c_str(), &end);
-  return end != text.c_str() && *end == '\0';
+  return end != text.c_str() && *end == '\0' && std::isfinite(out);
 }
 
 }  // namespace
@@ -38,11 +41,11 @@ std::vector<sim::Sample> read_trace_csv(std::istream& in) {
       // it is an error.
       if (line_no == 1) continue;
       throw std::invalid_argument("trace csv line " + std::to_string(line_no) +
-                                  ": non-numeric time");
+                                  ": non-numeric or non-finite time");
     }
     if (!parse_double(load_text, v))
       throw std::invalid_argument("trace csv line " + std::to_string(line_no) +
-                                  ": non-numeric load");
+                                  ": non-numeric or non-finite load");
     if (!trace.empty() && t < trace.back().time)
       throw std::invalid_argument("trace csv line " + std::to_string(line_no) +
                                   ": time went backwards");
@@ -65,7 +68,13 @@ std::vector<sim::Sample> read_trace_csv(std::istream& in) {
 std::vector<sim::Sample> read_trace_file(const std::string& path) {
   std::ifstream file(path);
   if (!file) throw std::runtime_error("cannot open trace file: " + path);
-  return read_trace_csv(file);
+  try {
+    return read_trace_csv(file);
+  } catch (const std::invalid_argument& e) {
+    // Prefix the file so "which of my traces is broken" is answerable from
+    // the message alone.
+    throw std::invalid_argument(path + ": " + e.what());
+  }
 }
 
 void write_trace_csv(std::ostream& out,

@@ -35,10 +35,17 @@ void Host::set_external_load(int competitors) {
 }
 
 void Host::set_online(bool online) {
+  if (crashed_) return;  // dead hosts stay dead
   if (online == online_) return;
   online_ = online;
   record_state();
   replan();
+}
+
+void Host::set_crashed() {
+  if (crashed_) return;
+  set_online(false);  // records the offline marker and stalls running tasks
+  crashed_ = true;
 }
 
 void Host::record_state() {

@@ -99,9 +99,18 @@ class Host {
   /// While offline the host contributes no cycles: availability() is 0 and
   /// running tasks stall until the host returns.  Orthogonal to the
   /// competing-process count, which is preserved across the outage.
+  /// Ignored once the host has crashed — a dead machine does not come back.
   void set_online(bool online);
 
   [[nodiscard]] bool online() const noexcept { return online_; }
+
+  /// Permanent failure (fault injection): the host goes offline forever and
+  /// any process state it held is lost.  Unlike graceful reclamation
+  /// (set_online(false)), a crashed host never returns; subsequent
+  /// set_online(true) calls from load models are no-ops.
+  void set_crashed();
+
+  [[nodiscard]] bool crashed() const noexcept { return crashed_; }
 
   /// Starts `work` flops of application work; `done` fires at completion.
   /// The returned task stays valid until completion or cancellation.
@@ -155,6 +164,7 @@ class Host {
   std::string name_;
   int external_load_ = 0;
   bool online_ = true;
+  bool crashed_ = false;
   std::vector<std::shared_ptr<ComputeTask>> tasks_;
   std::vector<sim::Sample> load_history_;
   sim::TraceRecorder* trace_ = nullptr;

@@ -8,12 +8,23 @@
 
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "simcore/event_queue.hpp"
 #include "simcore/sim_time.hpp"
 
 namespace simsweep::sim {
+
+/// Thrown by run_until() when the configured event budget is exhausted.
+/// A runaway simulation (livelocked model, pathological retry loop) fails
+/// fast with a diagnosable error instead of spinning forever.
+class EventBudgetExceeded : public std::runtime_error {
+ public:
+  explicit EventBudgetExceeded(std::uint64_t budget)
+      : std::runtime_error("Simulator: event budget exceeded (" +
+                           std::to_string(budget) + " events fired)") {}
+};
 
 class Simulator {
  public:
@@ -42,12 +53,18 @@ class Simulator {
   /// Runs until the event queue drains or stop() is called.
   void run() { run_until(kTimeInfinity); }
 
+  /// Caps the total number of events this simulator may fire; run_until()
+  /// throws EventBudgetExceeded once the cap is hit.  0 (the default)
+  /// disables the guard.
+  void set_event_budget(std::uint64_t budget) noexcept { budget_ = budget; }
+
   /// Runs until `horizon` (events at exactly the horizon still fire).
   /// Advances now() to the horizon when it is finite and the queue drained
   /// earlier, so time-based observers see a consistent clock.
   void run_until(SimTime horizon) {
     stopped_ = false;
     while (!stopped_ && !queue_.empty() && queue_.next_time() <= horizon) {
+      if (budget_ != 0 && fired_ >= budget_) throw EventBudgetExceeded(budget_);
       auto [t, cb] = queue_.pop();
       now_ = t;
       ++fired_;
@@ -69,6 +86,7 @@ class Simulator {
   EventQueue queue_;
   SimTime now_ = 0.0;
   std::uint64_t fired_ = 0;
+  std::uint64_t budget_ = 0;  // 0 = unlimited
   bool stopped_ = false;
 };
 

@@ -80,7 +80,7 @@ void IterativeExecution::begin_iteration() {
   if (iteration_start_observer_) iteration_start_observer_(*this);
 }
 
-void IterativeExecution::abort_iteration() {
+double IterativeExecution::abort_iteration() {
   if (!in_flight_)
     throw std::logic_error("abort_iteration: no iteration in flight");
   for (auto& task : tasks_) task->cancel();
@@ -91,7 +91,28 @@ void IterativeExecution::abort_iteration() {
   in_flight_ = false;
   // The abandoned partial iteration is adaptation-induced lost time; charge
   // it so makespan always decomposes into startup + iterations + overhead.
-  result_.adaptation_overhead_s += simulator_.now() - iter_start_;
+  const double lost = simulator_.now() - iter_start_;
+  result_.adaptation_overhead_s += lost;
+  return lost;
+}
+
+void IterativeExecution::rollback_to_iteration(std::size_t iteration) {
+  if (in_flight_)
+    throw std::logic_error("rollback_to_iteration: iteration in flight");
+  if (done_)
+    throw std::logic_error("rollback_to_iteration: run already finished");
+  if (iteration > result_.iterations_completed)
+    throw std::invalid_argument(
+        "rollback_to_iteration: target beyond completed iterations");
+  double lost = 0.0;
+  while (result_.iterations_completed > iteration) {
+    lost += result_.iteration_times_s.back();
+    result_.iteration_times_s.pop_back();
+    --result_.iterations_completed;
+    ++result_.failures.iterations_recomputed;
+  }
+  result_.adaptation_overhead_s += lost;
+  result_.failures.time_lost_s += lost;
 }
 
 void IterativeExecution::restart_iteration() {

@@ -93,11 +93,20 @@ class IterativeExecution {
   /// Abandons the in-flight iteration: running compute tasks and transfers
   /// are cancelled and their partial progress is lost.  The caller must
   /// eventually call restart_iteration() (possibly after simulated
-  /// recovery work such as a forced swap).
-  void abort_iteration();
+  /// recovery work such as a forced swap).  Returns the abandoned partial
+  /// iteration time, already charged to adaptation overhead; fault-recovery
+  /// callers additionally book it as time lost to failures.
+  double abort_iteration();
 
   /// Re-runs the iteration abandoned by abort_iteration().
   void restart_iteration();
+
+  /// Rolls completed iterations back to `iteration` (fault recovery: CR
+  /// restores the last successful checkpoint, NONE restarts from scratch).
+  /// The rolled-back iterations' durations move into adaptation overhead
+  /// and failure accounting; the work will be recomputed.  Requires no
+  /// iteration in flight.
+  void rollback_to_iteration(std::size_t iteration);
 
  private:
   void begin_iteration();

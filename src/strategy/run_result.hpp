@@ -6,6 +6,45 @@
 
 namespace simsweep::strategy {
 
+/// Failure accounting for one run under fault injection.  All zero when
+/// faults are disabled.
+struct FailureStats {
+  /// Permanent host crashes that fired during the run (cluster-wide).
+  std::size_t host_crashes = 0;
+
+  /// State-transfer attempts that died partway.
+  std::size_t transfers_failed = 0;
+
+  /// Failed attempts that were retried after backoff.
+  std::size_t transfers_retried = 0;
+
+  /// Transfers abandoned after exhausting every retry.
+  std::size_t transfers_abandoned = 0;
+
+  /// CR checkpoint writes that failed (the previous successful checkpoint
+  /// remains the recovery point).
+  std::size_t checkpoint_failures = 0;
+
+  /// Crashed active processes successfully replaced/restarted.
+  std::size_t crash_recoveries = 0;
+
+  /// Hosts blacklisted by the swap executor after repeated transfer
+  /// failures.
+  std::size_t hosts_blacklisted = 0;
+
+  /// Completed iterations rolled back and recomputed (CR restores, NONE
+  /// restarts from scratch).
+  std::size_t iterations_recomputed = 0;
+
+  /// Simulated time attributable to failures: dead partial transfers,
+  /// retry backoffs, recovery pauses, recomputed iterations.  Overlaps with
+  /// adaptation_overhead_s (failure recovery is charged to both views so
+  /// the makespan decomposition stays intact).
+  double time_lost_s = 0.0;
+
+  friend bool operator==(const FailureStats&, const FailureStats&) = default;
+};
+
 struct RunResult {
   /// Wall-clock (simulated) time from submission to completion, including
   /// startup and all adaptation overheads.
@@ -34,8 +73,18 @@ struct RunResult {
   /// True when the simulation went idle before the horizon with the
   /// application unfinished: the strategy deadlocked (e.g. a boundary hook
   /// never resumed).  Distinct from a horizon timeout, which is merely a
-  /// slow run; a stalled run's makespan is meaningless.
+  /// slow run; a stalled run's makespan is meaningless.  Also set for
+  /// resource-exhausted runs, which stop early by design.
   bool stalled = false;
+
+  /// Diagnostic: the strategy gave up because no usable host remained to
+  /// recover onto (spare pool exhausted / too few online hosts after
+  /// crashes).  The run stops cleanly instead of deadlocking; makespan is
+  /// the give-up time and `stalled` is set by the experiment layer.
+  bool resource_exhausted = false;
+
+  /// Fault-injection accounting; all zero when faults are disabled.
+  FailureStats failures;
 };
 
 }  // namespace simsweep::strategy

@@ -1,8 +1,13 @@
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <map>
 #include <memory>
+#include <set>
 #include <utility>
+#include <vector>
 
+#include "fault/fault.hpp"
 #include "strategy/estimator.hpp"
 #include "strategy/strategy.hpp"
 #include "swap/planner.hpp"
@@ -41,9 +46,133 @@ std::vector<double> effective_speeds(
   return out;
 }
 
+// ------------------------------------------------------- fault primitives
+
+/// True when any active process currently sits on a crashed host.
+bool placement_hit_by_crash(IterativeExecution& exec) {
+  for (platform::HostId h : exec.placement())
+    if (exec.cluster().host(h).crashed()) return true;
+  return false;
+}
+
+/// Aborts the in-flight iteration because of a crash; the abandoned partial
+/// work is failure-induced lost time on top of the adaptation charge.
+void abort_for_crash(IterativeExecution& exec) {
+  exec.result().failures.time_lost_s += exec.abort_iteration();
+}
+
+/// The strategy gives up: no usable host remains to recover onto.  The
+/// give-up instant is recorded as the makespan here because the experiment
+/// loop only notices at its next chunk boundary, possibly hours later.
+void mark_resource_exhausted(IterativeExecution& exec) {
+  exec.result().resource_exhausted = true;
+  exec.result().makespan_s = exec.simulator().now();
+}
+
+/// Runs one logical state transfer of `bytes` over the shared link, subject
+/// to fault injection: an attempt may die partway (the partial payload still
+/// occupied the link), failed attempts retry after capped exponential
+/// backoff, and the move is abandoned once retries run out.  `done(true)`
+/// fires when the full payload lands, `done(false)` on abandonment;
+/// `on_attempt_failed` fires once per failed attempt (blacklist strikes).
+/// Flow handles are parked in `keep` — the network only holds them weakly.
+/// With a null injector this is exactly one clean start_transfer.
+void start_faulty_transfer(IterativeExecution& exec,
+                           fault::FaultInjector* faults,
+                           std::vector<std::shared_ptr<net::Flow>>& keep,
+                           double bytes, std::size_t attempt,
+                           std::function<void()> on_attempt_failed,
+                           std::function<void(bool)> done) {
+  if (faults == nullptr || !faults->draw_transfer_failure()) {
+    keep.push_back(exec.network().start_transfer(
+        bytes, [done = std::move(done)] { done(true); }));
+    return;
+  }
+  ++exec.result().failures.transfers_failed;
+  const double partial = bytes * faults->draw_failure_fraction();
+  const sim::SimTime begin = exec.simulator().now();
+  keep.push_back(exec.network().start_transfer(
+      partial, [&exec, faults, &keep, bytes, attempt, begin,
+                on_attempt_failed = std::move(on_attempt_failed),
+                done = std::move(done)] {
+        auto& fs = exec.result().failures;
+        fs.time_lost_s += exec.simulator().now() - begin;
+        if (on_attempt_failed) on_attempt_failed();
+        if (attempt >= faults->spec().max_transfer_retries) {
+          ++fs.transfers_abandoned;
+          done(false);
+          return;
+        }
+        ++fs.transfers_retried;
+        const double backoff = faults->retry_backoff(attempt);
+        fs.time_lost_s += backoff;
+        exec.simulator().after(
+            backoff, [&exec, faults, &keep, bytes, attempt, on_attempt_failed,
+                      done] {
+              start_faulty_transfer(exec, faults, keep, bytes, attempt + 1,
+                                    on_attempt_failed, done);
+            });
+      }));
+}
+
 }  // namespace
 
 // -------------------------------------------------------------------- NONE
+
+namespace {
+
+struct NoneRuntimeState {
+  bool recovering = false;
+  sim::SimTime pause_start = 0.0;
+};
+
+/// NONE's failure semantics: the job is resubmitted from scratch — pay
+/// startup again and recompute every iteration on the fastest hosts still
+/// alive.  No spare pool exists, so too few online hosts is terminal.
+void none_restart_from_scratch(IterativeExecution& exec,
+                               std::shared_ptr<NoneRuntimeState> state) {
+  state->recovering = true;
+  state->pause_start = exec.simulator().now();
+  exec.rollback_to_iteration(0);
+  const std::size_t n = exec.spec().active_processes;
+  exec.simulator().after(exec.cluster().startup_cost(n), [&exec, state, n] {
+    std::vector<platform::HostId> fastest;
+    for (platform::HostId h : exec.cluster().by_effective_speed())
+      if (exec.cluster().host(h).online()) fastest.push_back(h);
+    if (fastest.size() < n) {
+      mark_resource_exhausted(exec);
+      state->recovering = false;
+      return;
+    }
+    fastest.resize(n);
+    exec.set_placement(std::move(fastest));
+    ++exec.result().failures.crash_recoveries;
+    const double pause = exec.simulator().now() - state->pause_start;
+    exec.result().adaptation_overhead_s += pause;
+    exec.result().failures.time_lost_s += pause;
+    state->recovering = false;
+    exec.restart_iteration();
+  });
+}
+
+void wire_none_fault_handling(IterativeExecution* exec,
+                              fault::FaultInjector* injector) {
+  if (injector == nullptr) return;
+  auto state = std::make_shared<NoneRuntimeState>();
+  // Fires from both triggers below; only acts while an iteration is in
+  // flight — begin_iteration starts tasks before the observer runs, so a
+  // crash in any other window is caught at the next iteration start.
+  auto react = [state](IterativeExecution& e) {
+    if (state->recovering || e.done() || e.result().resource_exhausted) return;
+    if (!e.iteration_in_flight() || !placement_hit_by_crash(e)) return;
+    abort_for_crash(e);
+    none_restart_from_scratch(e, state);
+  };
+  injector->on_crash([exec, react](platform::HostId) { react(*exec); });
+  exec->set_iteration_start_observer(react);
+}
+
+}  // namespace
 
 std::unique_ptr<IterativeExecution> NoneStrategy::launch(StrategyContext& ctx) {
   Allocation alloc = pick_allocation(ctx.cluster, ctx.spec.active_processes, 0,
@@ -52,11 +181,64 @@ std::unique_ptr<IterativeExecution> NoneStrategy::launch(StrategyContext& ctx) {
       ctx.simulator, ctx.cluster, ctx.network, ctx.spec, alloc.active,
       app::WorkPartition::equal(ctx.spec.active_processes),
       IterativeExecution::BoundaryHook{});
+  wire_none_fault_handling(exec.get(), ctx.faults);
   exec->start(ctx.cluster.startup_cost(ctx.spec.active_processes));
   return exec;
 }
 
 // --------------------------------------------------------------------- DLB
+
+namespace {
+
+/// DLB's failure semantics: no spare pool and free redistribution — dead
+/// slots are reassigned round-robin to the surviving allocated hosts
+/// (online first, fastest first) and the work is repartitioned, at zero
+/// cost like every DLB adaptation.  All hosts dead is terminal.
+void dlb_recover(IterativeExecution& exec) {
+  std::vector<std::size_t> dead;
+  std::vector<platform::HostId> survivors;
+  for (std::size_t slot = 0; slot < exec.placement().size(); ++slot) {
+    const platform::HostId h = exec.placement()[slot];
+    if (exec.cluster().host(h).crashed()) {
+      dead.push_back(slot);
+    } else if (std::find(survivors.begin(), survivors.end(), h) ==
+               survivors.end()) {
+      survivors.push_back(h);
+    }
+  }
+  std::stable_sort(survivors.begin(), survivors.end(),
+                   [&](platform::HostId a, platform::HostId b) {
+                     const auto& ha = exec.cluster().host(a);
+                     const auto& hb = exec.cluster().host(b);
+                     if (ha.online() != hb.online()) return ha.online();
+                     return ha.effective_speed() > hb.effective_speed();
+                   });
+  if (survivors.empty()) {
+    mark_resource_exhausted(exec);
+    return;
+  }
+  for (std::size_t i = 0; i < dead.size(); ++i)
+    exec.move_process(dead[i], survivors[i % survivors.size()]);
+  exec.result().failures.crash_recoveries += dead.size();
+  exec.set_partition(app::WorkPartition::proportional(
+      effective_speeds(exec.cluster(), exec.placement())));
+  exec.restart_iteration();
+}
+
+void wire_dlb_fault_handling(IterativeExecution* exec,
+                             fault::FaultInjector* injector) {
+  if (injector == nullptr) return;
+  auto react = [](IterativeExecution& e) {
+    if (e.done() || e.result().resource_exhausted) return;
+    if (!e.iteration_in_flight() || !placement_hit_by_crash(e)) return;
+    abort_for_crash(e);
+    dlb_recover(e);
+  };
+  injector->on_crash([exec, react](platform::HostId) { react(*exec); });
+  exec->set_iteration_start_observer(react);
+}
+
+}  // namespace
 
 std::unique_ptr<IterativeExecution> DlbStrategy::launch(StrategyContext& ctx) {
   Allocation alloc = pick_allocation(ctx.cluster, ctx.spec.active_processes, 0,
@@ -74,6 +256,7 @@ std::unique_ptr<IterativeExecution> DlbStrategy::launch(StrategyContext& ctx) {
   auto exec = std::make_unique<IterativeExecution>(
       ctx.simulator, ctx.cluster, ctx.network, ctx.spec, alloc.active,
       std::move(initial), hook);
+  wire_dlb_fault_handling(exec.get(), ctx.faults);
   exec->start(ctx.cluster.startup_cost(ctx.spec.active_processes));
   return exec;
 }
@@ -93,16 +276,53 @@ struct SwapRuntimeState {
   bool guard_enabled = false;
   double stall_factor = 3.0;
   sim::EventHandle watchdog;
+  // Fault handling.
+  fault::FaultInjector* faults = nullptr;
+  bool recovering = false;
+  std::map<platform::HostId, std::size_t> strikes;  // failed transfers per dst
+  std::set<platform::HostId> blacklist;
+  std::function<void(IterativeExecution&)> after_recover;  // hybrid repartition
 };
 
-/// Moves `slot`'s process onto `to`, updating the spare pool.
+/// Moves `slot`'s process onto `to`, updating the spare pool.  A vacated
+/// host returns to the pool unless it is dead or blacklisted.
 void apply_move(IterativeExecution& exec, SwapRuntimeState& state,
                 std::size_t slot, platform::HostId to) {
   const platform::HostId from = exec.placement()[slot];
   exec.move_process(slot, to);
   std::erase(state.spares, to);
-  state.spares.push_back(from);
+  if (!exec.cluster().host(from).crashed() && !state.blacklist.contains(from))
+    state.spares.push_back(from);
   ++exec.result().adaptations;
+}
+
+/// Books one failed transfer attempt against destination `to`; repeated
+/// offenders are blacklisted out of the spare pool.
+void note_strike(IterativeExecution& exec, SwapRuntimeState& state,
+                 platform::HostId to) {
+  if (state.faults == nullptr) return;
+  if (++state.strikes[to] != state.faults->spec().blacklist_after) return;
+  if (!state.blacklist.insert(to).second) return;
+  std::erase(state.spares, to);
+  ++exec.result().failures.hosts_blacklisted;
+}
+
+/// Online spares (blacklisted hosts were already removed), fastest first by
+/// the strategy's estimator.
+std::vector<platform::HostId> usable_spares(IterativeExecution& exec,
+                                            const SwapRuntimeState& state) {
+  std::vector<platform::HostId> out;
+  for (platform::HostId h : state.spares)
+    if (exec.cluster().host(h).online()) out.push_back(h);
+  const sim::SimTime now = exec.simulator().now();
+  std::stable_sort(out.begin(), out.end(),
+                   [&](platform::HostId a, platform::HostId b) {
+                     return state.estimator->estimate(exec.cluster().host(a),
+                                                      now) >
+                            state.estimator->estimate(exec.cluster().host(b),
+                                                      now);
+                   });
+  return out;
 }
 
 /// Forced relocation of every slot stuck on an offline host; fires from the
@@ -111,25 +331,15 @@ void apply_move(IterativeExecution& exec, SwapRuntimeState& state,
 /// and the iteration restarts on the new placement.
 void handle_stall(IterativeExecution& exec,
                   const std::shared_ptr<SwapRuntimeState>& state) {
-  if (!exec.iteration_in_flight() || exec.done()) return;
+  if (!exec.iteration_in_flight() || exec.done() || state->recovering) return;
 
   std::vector<std::size_t> stuck;
   for (std::size_t slot = 0; slot < exec.placement().size(); ++slot)
     if (!exec.cluster().host(exec.placement()[slot]).online())
       stuck.push_back(slot);
 
-  // Online spares, fastest first.
-  std::vector<platform::HostId> candidates;
-  for (platform::HostId h : state->spares)
-    if (exec.cluster().host(h).online()) candidates.push_back(h);
+  const auto candidates = usable_spares(exec, *state);
   const sim::SimTime now = exec.simulator().now();
-  std::stable_sort(candidates.begin(), candidates.end(),
-                   [&](platform::HostId a, platform::HostId b) {
-                     return state->estimator->estimate(exec.cluster().host(a),
-                                                       now) >
-                            state->estimator->estimate(exec.cluster().host(b),
-                                                       now);
-                   });
 
   if (stuck.empty() || candidates.empty()) {
     // Slow but not evicted, or nowhere to go: check again later.
@@ -149,17 +359,117 @@ void handle_stall(IterativeExecution& exec,
   for (std::size_t i = 0; i < moves; ++i) {
     const std::size_t slot = stuck[i];
     const platform::HostId to = candidates[i];
-    state->transfers.push_back(exec.network().start_transfer(
-        exec.spec().state_bytes_per_process, [&exec, state, slot, to] {
-          apply_move(exec, *state, slot, to);
+    start_faulty_transfer(
+        exec, state->faults, state->transfers,
+        exec.spec().state_bytes_per_process, 0,
+        [&exec, state, to] { note_strike(exec, *state, to); },
+        [&exec, state, slot, to](bool ok) {
+          if (ok) apply_move(exec, *state, slot, to);
           if (--state->pending == 0) {
             state->transfers.clear();
             exec.result().adaptation_overhead_s +=
                 exec.simulator().now() - state->pause_start;
             exec.restart_iteration();  // re-arms the watchdog via observer
           }
-        }));
+        });
   }
+}
+
+void swap_recover_round(IterativeExecution& exec,
+                        std::shared_ptr<SwapRuntimeState> state);
+
+/// All crashed slots replaced: charge the recovery pause and resume.
+void finish_swap_recovery(IterativeExecution& exec,
+                          const std::shared_ptr<SwapRuntimeState>& state) {
+  state->recovering = false;
+  state->transfers.clear();
+  const double pause = exec.simulator().now() - state->pause_start;
+  exec.result().adaptation_overhead_s += pause;
+  exec.result().failures.time_lost_s += pause;
+  if (state->after_recover) state->after_recover(exec);
+  exec.restart_iteration();
+}
+
+/// One round of crash recovery: every dead slot gets a replacement spun up
+/// on an online spare, paying a full state transfer each (boundary state is
+/// re-materialised from the surviving peers).  Rounds repeat until no dead
+/// slot remains — transfers can fail or their targets can crash mid-round —
+/// and recovery is all-or-nothing: fewer usable spares than dead slots is
+/// terminal, since a partially-replaced application cannot make progress.
+void swap_recover_round(IterativeExecution& exec,
+                        std::shared_ptr<SwapRuntimeState> state) {
+  std::vector<std::size_t> dead;
+  for (std::size_t slot = 0; slot < exec.placement().size(); ++slot)
+    if (exec.cluster().host(exec.placement()[slot]).crashed())
+      dead.push_back(slot);
+  if (dead.empty()) {
+    finish_swap_recovery(exec, state);
+    return;
+  }
+  const auto candidates = usable_spares(exec, *state);
+  if (candidates.size() < dead.size()) {
+    mark_resource_exhausted(exec);
+    state->recovering = false;
+    state->transfers.clear();
+    return;
+  }
+  state->pending = dead.size();
+  state->transfers.clear();
+  for (std::size_t i = 0; i < dead.size(); ++i) {
+    const std::size_t slot = dead[i];
+    const platform::HostId to = candidates[i];
+    start_faulty_transfer(
+        exec, state->faults, state->transfers,
+        exec.spec().state_bytes_per_process, 0,
+        [&exec, state, to] { note_strike(exec, *state, to); },
+        [&exec, state, slot, to](bool ok) {
+          if (ok) {
+            apply_move(exec, *state, slot, to);
+            ++exec.result().failures.crash_recoveries;
+          }
+          if (--state->pending == 0) swap_recover_round(exec, state);
+        });
+  }
+}
+
+void begin_swap_recovery(IterativeExecution& exec,
+                         std::shared_ptr<SwapRuntimeState> state) {
+  state->watchdog.cancel();
+  state->recovering = true;
+  state->pause_start = exec.simulator().now();
+  swap_recover_round(exec, std::move(state));
+}
+
+/// Installs crash handling for SWAP-family strategies: both triggers (the
+/// crash callback and the iteration-start observer) only act while an
+/// iteration is in flight — begin_iteration starts tasks before the
+/// observer runs, so a crash in any other window (startup, boundary pause,
+/// recovery) is caught at the next iteration start.  `arm_watchdog` is the
+/// eviction guard's observer, chained before the crash check.
+void wire_swap_fault_handling(
+    IterativeExecution* exec, std::shared_ptr<SwapRuntimeState> state,
+    std::function<void(IterativeExecution&)> arm_watchdog) {
+  fault::FaultInjector* injector = state->faults;
+  if (injector == nullptr) {
+    if (arm_watchdog)
+      exec->set_iteration_start_observer(std::move(arm_watchdog));
+    return;
+  }
+  auto react = [state](IterativeExecution& e) {
+    if (state->recovering || e.done() || e.result().resource_exhausted) return;
+    if (!e.iteration_in_flight() || !placement_hit_by_crash(e)) return;
+    abort_for_crash(e);
+    begin_swap_recovery(e, state);
+  };
+  injector->on_crash([exec, state, react](platform::HostId h) {
+    std::erase(state->spares, h);  // a dead spare is no candidate
+    react(*exec);
+  });
+  exec->set_iteration_start_observer(
+      [react, arm = std::move(arm_watchdog)](IterativeExecution& e) {
+        if (arm) arm(e);
+        react(e);
+      });
 }
 
 }  // namespace
@@ -175,6 +485,7 @@ std::unique_ptr<IterativeExecution> SwapStrategy::launch(StrategyContext& ctx) {
   state->spares = alloc.spares;
   state->guard_enabled = options_.eviction_guard;
   state->stall_factor = options_.stall_factor;
+  state->faults = ctx.faults;
 
   auto hook = [state](IterativeExecution& exec, std::function<void()> resume) {
     state->watchdog.cancel();  // boundary reached: the iteration completed
@@ -200,22 +511,25 @@ std::unique_ptr<IterativeExecution> SwapStrategy::launch(StrategyContext& ctx) {
     }
     // Transfer every swapped process's state concurrently over the shared
     // link; the application stays paused (full barrier) until the last
-    // transfer lands, then the placement changes take effect.
+    // transfer lands or is abandoned, then the surviving placement changes
+    // take effect (an abandoned move leaves the evicted process in place).
     state->pause_start = now;
     state->pending = decisions.size();
     state->transfers.clear();
     for (const swap::SwapDecision& d : decisions) {
-      state->transfers.push_back(exec.network().start_transfer(
-          exec.spec().state_bytes_per_process,
-          [state, d, &exec, resume] {
-            apply_move(exec, *state, d.slot, d.to);
+      start_faulty_transfer(
+          exec, state->faults, state->transfers,
+          exec.spec().state_bytes_per_process, 0,
+          [&exec, state, to = d.to] { note_strike(exec, *state, to); },
+          [state, d, &exec, resume](bool ok) {
+            if (ok) apply_move(exec, *state, d.slot, d.to);
             if (--state->pending == 0) {
               state->transfers.clear();
               exec.result().adaptation_overhead_s +=
                   exec.simulator().now() - state->pause_start;
               resume();
             }
-          }));
+          });
     }
   };
 
@@ -223,8 +537,9 @@ std::unique_ptr<IterativeExecution> SwapStrategy::launch(StrategyContext& ctx) {
       ctx.simulator, ctx.cluster, ctx.network, ctx.spec, alloc.active,
       app::WorkPartition::equal(ctx.spec.active_processes), hook);
 
+  std::function<void(IterativeExecution&)> arm_watchdog;
   if (options_.eviction_guard) {
-    exec->set_iteration_start_observer([state](IterativeExecution& e) {
+    arm_watchdog = [state](IterativeExecution& e) {
       state->watchdog.cancel();
       // Expected duration: the last measured iteration, or a prediction
       // from current estimates for the very first one.
@@ -245,8 +560,9 @@ std::unique_ptr<IterativeExecution> SwapStrategy::launch(StrategyContext& ctx) {
           e.simulator().after(state->stall_factor * expected, [&e, weak] {
             if (auto s = weak.lock()) handle_stall(e, s);
           });
-    });
+    };
   }
+  wire_swap_fault_handling(exec.get(), state, std::move(arm_watchdog));
 
   exec->start(ctx.cluster.startup_cost(alloc.total()));
   return exec;
@@ -262,6 +578,7 @@ std::unique_ptr<IterativeExecution> DlbSwapStrategy::launch(
   state->policy = policy_;
   state->estimator = make_window_estimator(policy_.history_window_s);
   state->spares = alloc.spares;
+  state->faults = ctx.faults;
 
   // Re-partition for the estimated speeds of the (possibly just changed)
   // placement; counted as part of the same adaptation, at zero cost.
@@ -274,6 +591,7 @@ std::unique_ptr<IterativeExecution> DlbSwapStrategy::launch(
           std::max(1.0, state->estimator->estimate(exec.cluster().host(h), now)));
     exec.set_partition(app::WorkPartition::proportional(speeds));
   };
+  state->after_recover = repartition;
 
   auto hook = [state, repartition](IterativeExecution& exec,
                                    std::function<void()> resume) {
@@ -302,10 +620,12 @@ std::unique_ptr<IterativeExecution> DlbSwapStrategy::launch(
     state->pending = decisions.size();
     state->transfers.clear();
     for (const swap::SwapDecision& d : decisions) {
-      state->transfers.push_back(exec.network().start_transfer(
-          exec.spec().state_bytes_per_process,
-          [state, d, &exec, resume, repartition] {
-            apply_move(exec, *state, d.slot, d.to);
+      start_faulty_transfer(
+          exec, state->faults, state->transfers,
+          exec.spec().state_bytes_per_process, 0,
+          [&exec, state, to = d.to] { note_strike(exec, *state, to); },
+          [state, d, &exec, resume, repartition](bool ok) {
+            if (ok) apply_move(exec, *state, d.slot, d.to);
             if (--state->pending == 0) {
               state->transfers.clear();
               exec.result().adaptation_overhead_s +=
@@ -313,7 +633,7 @@ std::unique_ptr<IterativeExecution> DlbSwapStrategy::launch(
               repartition(exec);
               resume();
             }
-          }));
+          });
     }
   };
 
@@ -326,6 +646,7 @@ std::unique_ptr<IterativeExecution> DlbSwapStrategy::launch(
         return speeds;
       }()),
       hook);
+  wire_swap_fault_handling(exec.get(), state, {});
   exec->start(ctx.cluster.startup_cost(alloc.total()));
   return exec;
 }
@@ -336,10 +657,15 @@ namespace {
 
 struct CrRuntimeState {
   swap::PolicyParams policy;
-  std::vector<platform::HostId> pool;  // every allocated host
+  std::vector<platform::HostId> pool;  // every allocated host still alive
   std::vector<std::shared_ptr<net::Flow>> transfers;
   std::size_t pending = 0;
   sim::SimTime pause_start = 0.0;
+  // Fault handling.
+  fault::FaultInjector* faults = nullptr;
+  bool has_ckpt = false;          // a checkpoint write has succeeded
+  std::size_t last_ckpt_iter = 0;  // iterations covered by that checkpoint
+  bool recovering = false;
 };
 
 /// N fastest pool hosts by windowed estimate, fastest first.
@@ -357,6 +683,82 @@ std::vector<platform::HostId> best_of_pool(const platform::Cluster& cluster,
   return sorted;
 }
 
+/// Pool hosts currently usable for a restart (crashed ones were pruned on
+/// the crash callback; reclaimed-offline ones are skipped too).
+std::vector<platform::HostId> online_pool(IterativeExecution& exec,
+                                          const CrRuntimeState& state) {
+  std::vector<platform::HostId> out;
+  for (platform::HostId h : state.pool)
+    if (exec.cluster().host(h).online()) out.push_back(h);
+  return out;
+}
+
+/// Tail of a crash restart: re-check the pool (more hosts may have died
+/// during the startup pause), place on the best N survivors and resume.
+void cr_finish_restart(IterativeExecution& exec,
+                       const std::shared_ptr<CrRuntimeState>& state) {
+  state->transfers.clear();
+  const std::size_t n = exec.spec().active_processes;
+  const auto usable = online_pool(exec, *state);
+  if (usable.size() < n) {
+    mark_resource_exhausted(exec);
+    state->recovering = false;
+    return;
+  }
+  exec.set_placement(best_of_pool(exec.cluster(), usable, n,
+                                  exec.simulator().now(),
+                                  state->policy.history_window_s));
+  ++exec.result().adaptations;
+  ++exec.result().failures.crash_recoveries;
+  const double pause = exec.simulator().now() - state->pause_start;
+  exec.result().adaptation_overhead_s += pause;
+  exec.result().failures.time_lost_s += pause;
+  state->recovering = false;
+  exec.restart_iteration();
+}
+
+/// CR's failure semantics: roll back to the last *successful* checkpoint
+/// (from scratch when none exists), pay the restart startup, re-read the
+/// checkpoint from the reliable central store and resume on the best pool
+/// hosts still alive.  Too few online pool hosts is terminal.
+void cr_recover(IterativeExecution& exec,
+                std::shared_ptr<CrRuntimeState> state) {
+  state->recovering = true;
+  state->pause_start = exec.simulator().now();
+  exec.rollback_to_iteration(state->has_ckpt ? state->last_ckpt_iter : 0);
+  const std::size_t n = exec.spec().active_processes;
+  exec.simulator().after(exec.cluster().startup_cost(n), [&exec, state, n] {
+    if (!state->has_ckpt) {
+      cr_finish_restart(exec, state);
+      return;
+    }
+    state->pending = n;
+    state->transfers.clear();
+    for (std::size_t i = 0; i < n; ++i)
+      state->transfers.push_back(exec.network().start_transfer(
+          exec.spec().state_bytes_per_process, [&exec, state] {
+            if (--state->pending == 0) cr_finish_restart(exec, state);
+          }));
+  });
+}
+
+void wire_cr_fault_handling(IterativeExecution* exec,
+                            std::shared_ptr<CrRuntimeState> state) {
+  fault::FaultInjector* injector = state->faults;
+  if (injector == nullptr) return;
+  auto react = [state](IterativeExecution& e) {
+    if (state->recovering || e.done() || e.result().resource_exhausted) return;
+    if (!e.iteration_in_flight() || !placement_hit_by_crash(e)) return;
+    abort_for_crash(e);
+    cr_recover(e, state);
+  };
+  injector->on_crash([exec, state, react](platform::HostId h) {
+    std::erase(state->pool, h);  // dead hosts leave the pool for good
+    react(*exec);
+  });
+  exec->set_iteration_start_observer(react);
+}
+
 }  // namespace
 
 std::unique_ptr<IterativeExecution> CrStrategy::launch(StrategyContext& ctx) {
@@ -367,6 +769,7 @@ std::unique_ptr<IterativeExecution> CrStrategy::launch(StrategyContext& ctx) {
   state->pool = alloc.active;
   state->pool.insert(state->pool.end(), alloc.spares.begin(),
                      alloc.spares.end());
+  state->faults = ctx.faults;
 
   auto hook = [state](IterativeExecution& exec, std::function<void()> resume) {
     const sim::SimTime now = exec.simulator().now();
@@ -404,11 +807,27 @@ std::unique_ptr<IterativeExecution> CrStrategy::launch(StrategyContext& ctx) {
       resume();
       return;
     }
-    // Checkpoint: all processes write state to the central store.
+    // Checkpoint: all processes write state to the central store.  The
+    // write may fail (drawn once per checkpoint): the transfer time is
+    // still spent, but the store keeps the previous successful checkpoint
+    // and the planned restart is skipped.
+    const bool write_fails =
+        state->faults != nullptr && state->faults->draw_checkpoint_failure();
+    const std::size_t ckpt_iter = exec.iteration();
     state->pause_start = now;
     state->pending = n;
     state->transfers.clear();
-    auto after_write = [state, &exec, resume, n] {
+    auto after_write = [state, &exec, resume, n, write_fails, ckpt_iter] {
+      if (write_fails) {
+        ++exec.result().failures.checkpoint_failures;
+        const double pause = exec.simulator().now() - state->pause_start;
+        exec.result().adaptation_overhead_s += pause;
+        exec.result().failures.time_lost_s += pause;
+        resume();
+        return;
+      }
+      state->has_ckpt = true;
+      state->last_ckpt_iter = ckpt_iter;
       // Restart: pay startup, then every process reads the checkpoint on
       // the new placement.
       exec.simulator().after(
@@ -446,6 +865,7 @@ std::unique_ptr<IterativeExecution> CrStrategy::launch(StrategyContext& ctx) {
   auto exec = std::make_unique<IterativeExecution>(
       ctx.simulator, ctx.cluster, ctx.network, ctx.spec, alloc.active,
       app::WorkPartition::equal(ctx.spec.active_processes), hook);
+  wire_cr_fault_handling(exec.get(), state);
   exec->start(ctx.cluster.startup_cost(ctx.spec.active_processes));
   return exec;
 }

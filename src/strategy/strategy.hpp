@@ -17,6 +17,10 @@
 #include "strategy/schedule.hpp"
 #include "swap/policy.hpp"
 
+namespace simsweep::fault {
+class FaultInjector;
+}
+
 namespace simsweep::strategy {
 
 /// Everything a strategy needs to set up a run.
@@ -32,6 +36,12 @@ struct StrategyContext {
   /// Pre-execution scheduler ranking (the paper always uses
   /// kFastestEffective; the alternatives feed abl_initial_schedule).
   InitialSchedule initial_schedule = InitialSchedule::kFastestEffective;
+
+  /// Armed fault injector, or null when fault injection is disabled.
+  /// Strategies consult it for transfer/checkpoint failure draws and react
+  /// to host crashes; with a null injector behaviour is bitwise identical
+  /// to the fault-free code path.
+  fault::FaultInjector* faults = nullptr;
 };
 
 class Strategy {

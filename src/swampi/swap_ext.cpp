@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "simcore/rng.hpp"
+
 namespace swampi::swapx {
 
 namespace {
@@ -71,15 +73,25 @@ Role SwapContext::swap_point(double measured_iter_time_s) {
   events.resize(static_cast<std::size_t>(count));
   if (count > 0) world_.bcast(events.data(), events.size(), 0);
 
-  // 3. Registered state moves from evicted ranks to activated spares, then
-  //    everyone updates its role table.
+  // 3. Registered state moves from evicted ranks to activated spares —
+  //    under fault injection an attempt may die and be resent, or the whole
+  //    move abandoned — then everyone updates its role table for the swaps
+  //    that survived.
+  std::vector<SwapEvent> applied;
   if (count > 0) {
-    transfer_state(events);
-    if (config_.forward_pending_messages) forward_messages(events);
-    apply_events(events);
+    if (config_.faults.enabled()) {
+      applied = resolve_transfers(events);
+    } else {
+      transfer_state(events);
+      applied = std::move(events);
+    }
+    if (!applied.empty()) {
+      if (config_.forward_pending_messages) forward_messages(applied);
+      apply_events(applied);
+    }
   }
-  last_events_ = std::move(events);
-  total_swaps_ += static_cast<std::size_t>(count);
+  last_events_ = std::move(applied);
+  total_swaps_ += last_events_.size();
   return role_;
 }
 
@@ -138,19 +150,65 @@ std::vector<SwapEvent> SwapContext::manager_plan(
 }
 
 void SwapContext::transfer_state(const std::vector<SwapEvent>& events) {
-  for (const SwapEvent& e : events) {
-    if (world_.rank() == e.from) {
-      Tag tag = kTagSwapState;
-      for (const Registration& reg : registrations_)
-        world_.internal_send(static_cast<const std::byte*>(reg.data),
-                             reg.bytes, e.to, tag++);
-    } else if (world_.rank() == e.to) {
-      Tag tag = kTagSwapState;
-      for (const Registration& reg : registrations_)
+  for (const SwapEvent& e : events) transfer_state_attempt(e, /*discard=*/false);
+}
+
+void SwapContext::transfer_state_attempt(const SwapEvent& e, bool discard) {
+  if (world_.rank() == e.from) {
+    Tag tag = kTagSwapState;
+    for (const Registration& reg : registrations_)
+      world_.internal_send(static_cast<const std::byte*>(reg.data), reg.bytes,
+                           e.to, tag++);
+  } else if (world_.rank() == e.to) {
+    Tag tag = kTagSwapState;
+    std::vector<std::byte> scratch;
+    for (const Registration& reg : registrations_) {
+      if (discard) {
+        // The attempt is known to fail: the payload still crosses the wire
+        // (and costs time), but must not touch the registered state.
+        scratch.resize(reg.bytes);
+        world_.internal_recv(scratch.data(), reg.bytes, e.from, tag++);
+      } else {
         world_.internal_recv(static_cast<std::byte*>(reg.data), reg.bytes,
                              e.from, tag++);
+      }
     }
   }
+}
+
+bool SwapContext::fault_draw() {
+  // Counter-hash stream: rank-independent, communication-free agreement.
+  const std::uint64_t z =
+      simsweep::sim::derive_seed(config_.faults.seed, ++fault_counter_);
+  return static_cast<double>(z >> 11) * 0x1.0p-53 <
+         config_.faults.transfer_fail_prob;
+}
+
+std::vector<SwapEvent> SwapContext::resolve_transfers(
+    const std::vector<SwapEvent>& events) {
+  std::vector<SwapEvent> applied;
+  applied.reserve(events.size());
+  for (const SwapEvent& e : events) {
+    std::size_t failures = 0;
+    bool abandoned = false;
+    while (fault_draw()) {
+      ++transfer_failures_;
+      ++failures;
+      transfer_state_attempt(e, /*discard=*/true);
+      if (failures > config_.faults.max_transfer_retries) {
+        abandoned = true;
+        break;
+      }
+      ++transfer_retries_;
+    }
+    if (abandoned) {
+      ++transfers_abandoned_;
+      continue;  // the evicted process stays active; no role change
+    }
+    transfer_state_attempt(e, /*discard=*/false);
+    applied.push_back(e);
+  }
+  return applied;
 }
 
 void SwapContext::forward_messages(const std::vector<SwapEvent>& events) {

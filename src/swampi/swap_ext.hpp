@@ -18,6 +18,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -30,6 +31,27 @@
 namespace swampi::swapx {
 
 namespace policy = simsweep::swap;
+
+/// Transient state-transfer faults for swap_point (mirrors the simulator's
+/// fault layer): each transfer attempt may die and be resent, up to
+/// max_transfer_retries times; after that the move is abandoned and the
+/// evicted process simply stays active.  Outcomes are drawn from a
+/// counter-hash stream over `seed`, advanced identically on every rank, so
+/// all ranks agree on every outcome without extra communication.
+struct FaultProfile {
+  /// Probability that one transfer attempt fails.
+  double transfer_fail_prob = 0.0;
+
+  /// Resends allowed after the first failed attempt.
+  std::size_t max_transfer_retries = 3;
+
+  /// Root of the outcome stream; must be identical on all ranks.
+  std::uint64_t seed = 0;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return transfer_fail_prob > 0.0;
+  }
+};
 
 struct SwapConfig {
   /// N: slots that compute each iteration.  The remaining world ranks are
@@ -59,6 +81,9 @@ struct SwapConfig {
   /// address peers by slot.  Off by default (the paper's baseline demands a
   /// full barrier with no messages in flight).
   bool forward_pending_messages = false;
+
+  /// Transfer-fault injection; disabled by default.
+  FaultProfile faults;
 };
 
 struct Role {
@@ -114,9 +139,22 @@ class SwapContext {
     return total_swaps_;
   }
 
-  /// Events applied at the most recent swap_point.
+  /// Events applied at the most recent swap_point.  Under fault injection
+  /// this excludes planned swaps whose transfers were abandoned.
   [[nodiscard]] const std::vector<SwapEvent>& last_events() const noexcept {
     return last_events_;
+  }
+
+  // Transfer-fault statistics (identical on every rank; all zero when the
+  // fault profile is disabled).
+  [[nodiscard]] std::size_t transfer_failures() const noexcept {
+    return transfer_failures_;
+  }
+  [[nodiscard]] std::size_t transfer_retries() const noexcept {
+    return transfer_retries_;
+  }
+  [[nodiscard]] std::size_t transfers_abandoned() const noexcept {
+    return transfers_abandoned_;
   }
 
   /// World rank currently hosting `slot` (identical on every rank between
@@ -154,6 +192,17 @@ class SwapContext {
       const std::vector<Report>& reports);
   void apply_events(const std::vector<SwapEvent>& events);
   void transfer_state(const std::vector<SwapEvent>& events);
+  /// One send/recv pass for `event`'s registrations; a discarded attempt
+  /// (failed transfer) receives into scratch storage instead of the
+  /// registered state.
+  void transfer_state_attempt(const SwapEvent& event, bool discard);
+  /// Executes the transfers of `events` under the fault profile and
+  /// returns the events whose transfers succeeded.
+  [[nodiscard]] std::vector<SwapEvent> resolve_transfers(
+      const std::vector<SwapEvent>& events);
+  /// Next deterministic failure draw; advances the shared counter, so every
+  /// rank must call it the same number of times in the same order.
+  [[nodiscard]] bool fault_draw();
   void forward_messages(const std::vector<SwapEvent>& events);
 
   Comm& world_;
@@ -163,6 +212,12 @@ class SwapContext {
   Role role_;
   std::size_t total_swaps_ = 0;
   std::vector<SwapEvent> last_events_;
+
+  // Fault bookkeeping (advanced identically on every rank).
+  std::uint64_t fault_counter_ = 0;
+  std::size_t transfer_failures_ = 0;
+  std::size_t transfer_retries_ = 0;
+  std::size_t transfers_abandoned_ = 0;
 
   // Manager-side state (only used on world rank 0).
   std::vector<policy::PerfHistory> history_;

@@ -252,6 +252,35 @@ TEST(TrialRunner, PropagatesFirstException) {
                std::runtime_error);
 }
 
+TEST(TrialRunner, FirstExceptionCancelsUnclaimedWork) {
+  core::TrialRunner runner(4);
+  // Every task throws immediately; once the first failure lands, all
+  // still-unclaimed indices must be skipped, so with 4 threads racing over
+  // 10'000 one-shot tasks only a small prefix can ever start.
+  std::atomic<int> executed{0};
+  EXPECT_THROW(runner.parallel_for(10'000,
+                                   [&](std::size_t) {
+                                     executed.fetch_add(1);
+                                     throw std::runtime_error("boom");
+                                   }),
+               std::runtime_error);
+  EXPECT_LT(executed.load(), 5'000);
+}
+
+TEST(TrialRunner, InlineRunnerCancelsAfterFirstThrow) {
+  core::TrialRunner runner(1);
+  // Single-threaded: deterministic — exactly one body runs, the rest are
+  // cancelled before being claimed.
+  int executed = 0;
+  EXPECT_THROW(runner.parallel_for(100,
+                                   [&](std::size_t) {
+                                     ++executed;
+                                     throw std::runtime_error("boom");
+                                   }),
+               std::runtime_error);
+  EXPECT_EQ(executed, 1);
+}
+
 TEST(TrialRunner, ParallelismOneRunsInline) {
   core::TrialRunner runner(1);
   EXPECT_EQ(runner.parallelism(), 1u);
@@ -270,12 +299,21 @@ TEST(TrialStats, PrintsJson) {
   stats.unfinished = 1;
   stats.stalled = 1;
   stats.mean_adaptations = 2.5;
+  stats.resource_exhausted = 1;
+  stats.mean_crashes = 1.5;
+  stats.mean_transfer_failures = 3;
+  stats.mean_recoveries = 1.25;
+  stats.mean_checkpoint_failures = 0.5;
+  stats.mean_time_lost_s = 42;
   std::ostringstream os;
   stats.print_json(os);
   EXPECT_EQ(os.str(),
             "{\"mean\":123.5,\"stddev\":4.25,\"min\":100,\"max\":150,"
             "\"trials\":8,\"unfinished\":1,\"stalled\":1,"
-            "\"mean_adaptations\":2.5}");
+            "\"resource_exhausted\":1,\"mean_adaptations\":2.5,"
+            "\"mean_crashes\":1.5,\"mean_transfer_failures\":3,"
+            "\"mean_recoveries\":1.25,\"mean_checkpoint_failures\":0.5,"
+            "\"mean_time_lost_s\":42}");
 }
 
 TEST(SeriesReport, PrintsJson) {

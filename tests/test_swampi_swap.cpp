@@ -1,6 +1,7 @@
 // Tests for the swampi swap extension: the paper's mechanism end to end.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <mutex>
 #include <vector>
@@ -224,4 +225,117 @@ TEST(SwapContext, RegisterStateRejectsNull) {
     EXPECT_THROW(ctx.register_state(nullptr, 8), std::invalid_argument);
     ctx.register_state(nullptr, 0);  // zero-byte registration is fine
   });
+}
+
+TEST(SwapContextFaults, CertainFailureAbandonsSwapAndPreservesState) {
+  // Every transfer attempt fails: the planned eviction of slow rank 1 is
+  // abandoned after the retry budget, roles stay put, and the spare's
+  // registered state is never clobbered by the discarded payloads.
+  Runtime rt(3);
+  std::mutex mu;
+  std::vector<std::array<std::size_t, 4>> counters;  // fail/retry/abandon/swaps
+  rt.run([&](Comm& world) {
+    swapx::SwapConfig cfg;
+    cfg.active_count = 2;
+    cfg.speed_probe = [&world] { return world.rank() == 1 ? 10.0 : 100.0; };
+    cfg.faults.transfer_fail_prob = 1.0;
+    cfg.faults.max_transfer_retries = 2;
+    cfg.faults.seed = 7;
+    swapx::SwapContext ctx(world, cfg);
+    double payload = world.rank() == 1 ? 41.5 : -1.0;
+    ctx.register_value(payload);
+    const swapx::Role initial = ctx.role();
+    for (int i = 0; i < 2; ++i) {
+      const swapx::Role role = ctx.swap_point(10.0);
+      EXPECT_EQ(role, initial) << "abandoned swap must not change roles";
+      EXPECT_TRUE(ctx.last_events().empty());
+    }
+    // The discarded payloads crossed the wire but never touched `payload`.
+    EXPECT_DOUBLE_EQ(payload, world.rank() == 1 ? 41.5 : -1.0);
+    const std::scoped_lock lock(mu);
+    counters.push_back({ctx.transfer_failures(), ctx.transfer_retries(),
+                        ctx.transfers_abandoned(), ctx.swaps_performed()});
+  });
+  ASSERT_EQ(counters.size(), 3u);
+  for (const auto& c : counters) EXPECT_EQ(c, counters.front());
+  // 2 swap points x 1 planned swap x (1 first try + 2 retries) failures.
+  EXPECT_EQ(counters.front()[0], 6u);
+  EXPECT_EQ(counters.front()[1], 4u);
+  EXPECT_EQ(counters.front()[2], 2u);
+  EXPECT_EQ(counters.front()[3], 0u);
+}
+
+TEST(SwapContextFaults, FlakyTransfersEventuallyLandStateIntact) {
+  // Half the attempts fail; with a generous retry budget the swap must
+  // eventually apply, and the activated spare must hold the evicted
+  // process's exact payload despite the discarded partial attempts.
+  Runtime rt(3);
+  std::mutex mu;
+  std::vector<std::pair<int, double>> active_payloads;
+  std::vector<std::array<std::size_t, 4>> counters;
+  rt.run([&](Comm& world) {
+    swapx::SwapConfig cfg;
+    cfg.active_count = 2;
+    cfg.speed_probe = [&world] { return world.rank() == 1 ? 10.0 : 100.0; };
+    cfg.faults.transfer_fail_prob = 0.5;
+    cfg.faults.max_transfer_retries = 50;
+    cfg.faults.seed = 11;
+    swapx::SwapContext ctx(world, cfg);
+    double payload = world.rank() == 1 ? 41.5 : -1.0;
+    ctx.register_value(payload);
+    const swapx::Role role = ctx.swap_point(10.0);
+    EXPECT_EQ(ctx.swaps_performed(), 1u);
+    EXPECT_EQ(ctx.rank_of_slot(1), 2);
+    const std::scoped_lock lock(mu);
+    if (role.active) active_payloads.emplace_back(role.slot, payload);
+    counters.push_back({ctx.transfer_failures(), ctx.transfer_retries(),
+                        ctx.transfers_abandoned(), ctx.swaps_performed()});
+  });
+  ASSERT_EQ(counters.size(), 3u);
+  for (const auto& c : counters) EXPECT_EQ(c, counters.front());
+  EXPECT_EQ(counters.front()[2], 0u);
+  // Every failed attempt was either retried or (never, here) abandoned.
+  EXPECT_EQ(counters.front()[0], counters.front()[1]);
+  ASSERT_EQ(active_payloads.size(), 2u);
+  for (const auto& [slot, value] : active_payloads) {
+    if (slot == 1) {
+      EXPECT_DOUBLE_EQ(value, 41.5);  // moved with the slot
+    }
+  }
+}
+
+TEST(SwapContextFaults, FaultStreamIsDeterministicAcrossRuns) {
+  // Same seed, same program: the whole failure history — counters and
+  // applied swaps — repeats exactly; a different seed perturbs it.
+  auto run_once = [](std::uint64_t seed) {
+    std::mutex mu;
+    std::array<std::size_t, 4> out{};
+    Runtime rt(4);
+    rt.run([&](Comm& world) {
+      swapx::SwapConfig cfg;
+      cfg.active_count = 2;
+      cfg.speed_probe = [&world] {
+        return world.rank() < 2 ? 10.0 : 100.0;
+      };
+      cfg.faults.transfer_fail_prob = 0.7;
+      cfg.faults.max_transfer_retries = 2;
+      cfg.faults.seed = seed;
+      swapx::SwapContext ctx(world, cfg);
+      double payload = 1.0;
+      ctx.register_value(payload);
+      for (int i = 0; i < 4; ++i) (void)ctx.swap_point(10.0);
+      if (world.rank() == 0) {
+        const std::scoped_lock lock(mu);
+        out = {ctx.transfer_failures(), ctx.transfer_retries(),
+               ctx.transfers_abandoned(), ctx.swaps_performed()};
+      }
+    });
+    return out;
+  };
+  const auto a = run_once(7);
+  const auto b = run_once(7);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a[0], 0u);  // the stream actually failed something
+  const auto c = run_once(11);
+  EXPECT_NE(a, c);
 }

@@ -53,6 +53,31 @@ TEST(TraceIo, RejectsMalformedInput) {
                std::runtime_error);
 }
 
+TEST(TraceIo, RejectsNonFiniteValues) {
+  // strtod happily parses "nan" and "inf"; the reader must not.
+  std::istringstream nan_load("0,nan\n");
+  EXPECT_THROW((void)load::read_trace_csv(nan_load), std::invalid_argument);
+  std::istringstream inf_load("0,inf\n");
+  EXPECT_THROW((void)load::read_trace_csv(inf_load), std::invalid_argument);
+  std::istringstream nan_time("nan,1\n2,1\n");
+  // Line 1 with a non-numeric time is treated as a header; on any other
+  // line it is an error.
+  EXPECT_NO_THROW((void)load::read_trace_csv(nan_time));
+  std::istringstream nan_time_later("0,1\ninf,2\n");
+  EXPECT_THROW((void)load::read_trace_csv(nan_time_later),
+               std::invalid_argument);
+}
+
+TEST(TraceIo, ErrorMessagesCarryLineNumbers) {
+  std::istringstream bad("0,1\n5,oops\n");
+  try {
+    (void)load::read_trace_csv(bad);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
 TEST(TraceIo, WriteReadRoundTrip) {
   const std::vector<sim::Sample> trace{{0.0, 0.0}, {12.25, 2.0}, {100.0, 1.0}};
   std::stringstream buffer;
