@@ -145,6 +145,8 @@ std::unique_ptr<strategy::Strategy> build_strategy(Args& args) {
   const std::string name = args.get_string("strategy", "swap");
   if (name == "none") return std::make_unique<strategy::NoneStrategy>();
   if (name == "dlb") return std::make_unique<strategy::DlbStrategy>();
+  if (name == "dlbswap")
+    return std::make_unique<strategy::DlbSwapStrategy>(build_policy(args));
   if (name == "cr")
     return std::make_unique<strategy::CrStrategy>(build_policy(args));
   if (name == "swap") {
@@ -156,7 +158,7 @@ std::unique_ptr<strategy::Strategy> build_strategy(Args& args) {
                                                     options);
   }
   throw std::invalid_argument("unknown --strategy '" + name +
-                              "' (none|swap|dlb|cr)");
+                              "' (none|swap|dlb|dlbswap|cr)");
 }
 
 void reject_unused(const Args& args) {

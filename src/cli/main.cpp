@@ -7,6 +7,7 @@
 //   simsweep help
 #include <cstddef>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <stdexcept>
@@ -18,6 +19,7 @@
 #include "load/onoff.hpp"
 #include "platform/host.hpp"
 #include "simcore/simulator.hpp"
+#include "strategy/decision_trace.hpp"
 #include "swap/policy.hpp"
 
 namespace cli = simsweep::cli;
@@ -45,6 +47,9 @@ execution/output flags (run, sweep):
              env var, else hardware concurrency; results are identical to
              --jobs=1)
   --json     print machine-readable JSON instead of tables
+  --trace-decisions=FILE  (run) write one JSON line per policy decision —
+             candidates weighed, payback distance, rejection reason,
+             recovery actions — across all trials; makespans are unchanged
 
 load model flags (run, trace):
   --model=onoff   --dynamism=0.2 | --p=0.3 --q=0.08 [--step=100]
@@ -52,7 +57,7 @@ load model flags (run, trace):
   --model=reclaim --avail-min=60 --reclaim-min=10 [--dynamism=...]
 
 strategy flags (run):
-  --strategy=none|swap|dlb|cr
+  --strategy=none|swap|dlb|dlbswap|cr
   --policy=greedy|safe|friendly  [--payback --min-process --min-app --history]
   --predictor=window|nws|ewma|median  [--ewma-tau --median-k]
   --guard [--stall-factor=3]          (eviction watchdog)
@@ -86,13 +91,30 @@ int cmd_run(cli::Args& args) {
   const auto trials = get_count(args, "trials", 8);
   const auto jobs = get_count(args, "jobs", 0);
   const bool json = args.get_bool("json");
+  const std::string trace_path = args.get_string("trace-decisions", "");
   auto cfg = cli::build_config(args);
   const auto model = cli::build_load_model(args);
   auto strategy = cli::build_strategy(args);
   cli::reject_unused(args);
 
-  const auto stats =
-      core::run_trials_parallel(cfg, *model, *strategy, trials, jobs);
+  core::TrialStats stats;
+  if (trace_path.empty()) {
+    stats = core::run_trials_parallel(cfg, *model, *strategy, trials, jobs);
+  } else {
+    // Tracing never touches the simulation, so stats match the plain path
+    // bitwise; the per-trial results additionally carry the decision trace.
+    cfg.trace_decisions = true;
+    const auto results =
+        core::run_trials_results(cfg, *model, *strategy, trials, jobs);
+    std::ofstream out(trace_path);
+    if (!out)
+      throw std::runtime_error("cannot open --trace-decisions file '" +
+                               trace_path + "'");
+    for (std::size_t t = 0; t < results.size(); ++t)
+      strat::write_trace_jsonl(out, strategy->name(), cfg.seed + t, t,
+                               results[t].decision_trace);
+    stats = core::reduce_trials(results);
+  }
   if (json) {
     stats.print_json(std::cout);
     std::cout << '\n';

@@ -48,6 +48,7 @@ strategy::RunResult run_single(const ExperimentConfig& config,
       .spare_count = config.spare_count,
       .initial_schedule = config.initial_schedule,
       .faults = injector.get(),
+      .trace_decisions = config.trace_decisions,
   };
   auto exec = strat.launch(ctx);
   // Load sources generate events forever; stop as soon as the app is done
@@ -121,10 +122,9 @@ namespace {
 
 /// Serial or pooled trial fan-out; results land in trial-index order so the
 /// reduction (and therefore the returned stats) is identical either way.
-TrialStats run_trials_impl(ExperimentConfig config,
-                           const load::LoadModel& model,
-                           strategy::Strategy& strategy, std::size_t trials,
-                           TrialRunner* runner) {
+std::vector<strategy::RunResult> run_trials_results_impl(
+    ExperimentConfig config, const load::LoadModel& model,
+    strategy::Strategy& strategy, std::size_t trials, TrialRunner* runner) {
   if (trials == 0) throw std::invalid_argument("run_trials: zero trials");
   const std::uint64_t base_seed = config.seed;
   std::vector<strategy::RunResult> results(trials);
@@ -140,15 +140,32 @@ TrialStats run_trials_impl(ExperimentConfig config,
       results[t] = run_single(trial_config, model, strategy);
     });
   }
-  return reduce_trials(results);
+  return results;
 }
 
 }  // namespace
 
+std::vector<strategy::RunResult> run_trials_results(
+    ExperimentConfig config, const load::LoadModel& model,
+    strategy::Strategy& strategy, std::size_t trials, std::size_t jobs) {
+  if (jobs == 1) {
+    return run_trials_results_impl(std::move(config), model, strategy, trials,
+                                   /*runner=*/nullptr);
+  }
+  if (jobs == 0) {
+    return run_trials_results_impl(std::move(config), model, strategy, trials,
+                                   &TrialRunner::shared());
+  }
+  TrialRunner runner(jobs);
+  return run_trials_results_impl(std::move(config), model, strategy, trials,
+                                 &runner);
+}
+
 TrialStats run_trials(ExperimentConfig config, const load::LoadModel& model,
                       strategy::Strategy& strategy, std::size_t trials) {
-  return run_trials_impl(std::move(config), model, strategy, trials,
-                         /*runner=*/nullptr);
+  return reduce_trials(run_trials_results_impl(std::move(config), model,
+                                               strategy, trials,
+                                               /*runner=*/nullptr));
 }
 
 TrialStats run_trials_parallel(ExperimentConfig config,
@@ -156,11 +173,12 @@ TrialStats run_trials_parallel(ExperimentConfig config,
                                strategy::Strategy& strategy,
                                std::size_t trials, std::size_t jobs) {
   if (jobs == 0) {
-    return run_trials_impl(std::move(config), model, strategy, trials,
-                           &TrialRunner::shared());
+    return reduce_trials(run_trials_results_impl(
+        std::move(config), model, strategy, trials, &TrialRunner::shared()));
   }
   TrialRunner runner(jobs);
-  return run_trials_impl(std::move(config), model, strategy, trials, &runner);
+  return reduce_trials(run_trials_results_impl(std::move(config), model,
+                                               strategy, trials, &runner));
 }
 
 namespace {

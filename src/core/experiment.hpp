@@ -44,6 +44,11 @@ struct ExperimentConfig {
   /// Safety cap on events fired per trial; a runaway simulation throws
   /// sim::EventBudgetExceeded instead of spinning forever.  0 = unlimited.
   std::uint64_t max_events = 250'000'000;
+
+  /// Collect per-decision records (candidate swaps weighed, rejection
+  /// reasons, recovery actions) into RunResult::decision_trace.  Tracing
+  /// never touches the simulation, so makespans are identical either way.
+  bool trace_decisions = false;
 };
 
 /// One simulated run of `strategy` under `model`.  Fully deterministic in
@@ -107,6 +112,15 @@ struct TrialStats {
                                              strategy::Strategy& strategy,
                                              std::size_t trials,
                                              std::size_t jobs = 0);
+
+/// The per-trial results behind run_trials/run_trials_parallel, in trial
+/// order (trial t ran with seed config.seed + t).  Callers that need more
+/// than summary statistics — decision traces, per-trial makespans — use
+/// this and reduce_trials() the vector themselves.  `jobs` as in
+/// run_trials_parallel; `jobs` == 1 runs the trials serially.
+[[nodiscard]] std::vector<strategy::RunResult> run_trials_results(
+    ExperimentConfig config, const load::LoadModel& model,
+    strategy::Strategy& strategy, std::size_t trials, std::size_t jobs = 1);
 
 /// A figure-shaped result: one x axis, one y series per strategy.
 struct SeriesReport {

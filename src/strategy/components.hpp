@@ -1,0 +1,180 @@
+// Composable adaptation components, one per mechanism the paper compares:
+// swapping onto spares (SwapComponent), free repartitioning (DlbComponent)
+// and checkpoint/restart (CrComponent).  Techniques assemble these behind a
+// Remediation — DLB+SWAP is literally SwapComponent plus DlbComponent, not
+// a third copy of either.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "strategy/runtime.hpp"
+#include "strategy/schedule.hpp"
+#include "swap/planner.hpp"
+
+namespace simsweep::strategy {
+
+/// Equal chunks in flops, one per slot.
+inline std::vector<double> chunk_flops(const app::AppSpec& spec,
+                                       const app::WorkPartition& partition) {
+  std::vector<double> out;
+  out.reserve(partition.slots());
+  for (std::size_t slot = 0; slot < partition.slots(); ++slot)
+    out.push_back(spec.work_per_iteration_flops * partition.fraction(slot));
+  return out;
+}
+
+/// Current effective speeds of the hosts in `placement`.
+inline std::vector<double> effective_speeds(
+    const platform::Cluster& cluster,
+    const std::vector<platform::HostId>& placement) {
+  std::vector<double> out;
+  out.reserve(placement.size());
+  for (platform::HostId h : placement)
+    out.push_back(cluster.host(h).effective_speed());
+  return out;
+}
+
+/// One boundary planning round: the planner's full output plus the index
+/// of the trace record it produced (kNoTrace when tracing is off).
+struct BoundaryPlan {
+  swap::SwapPlan plan;
+  std::size_t trace_index = TechniqueRuntime::kNoTrace;
+};
+
+/// Runs the policy planner against the current placement and `spare_hosts`
+/// using the runtime's estimator, and records the round in the decision
+/// trace.  `adaptation_cost_s` overrides the planner's per-process transfer
+/// estimate (checkpoint/restart's whole-application cost); unset selects
+/// the estimate.
+[[nodiscard]] BoundaryPlan plan_boundary_swaps(
+    TechniqueRuntime& rt, const swap::PolicyParams& policy,
+    const std::vector<platform::HostId>& spare_hosts,
+    std::optional<double> adaptation_cost_s = std::nullopt);
+
+/// The paper's swap mechanism: a spare pool, faulty state transfers with
+/// strike-based blacklisting of unreliable destinations, all-or-nothing
+/// crash recovery onto spares, and the optional eviction-guard watchdog.
+class SwapComponent {
+ public:
+  SwapComponent(swap::PolicyParams policy,
+                std::vector<platform::HostId> spares,
+                double stall_factor = 3.0)
+      : policy_(std::move(policy)),
+        spares_(std::move(spares)),
+        stall_factor_(stall_factor) {}
+
+  /// Hook run after every completed crash recovery, before the iteration
+  /// restarts (DLB+SWAP repartitions for the repaired placement here).
+  void set_post_recovery(std::function<void(TechniqueRuntime&)> hook) {
+    post_recovery_ = std::move(hook);
+  }
+
+  /// Plans this boundary's swaps against the current spare pool.
+  [[nodiscard]] BoundaryPlan plan(TechniqueRuntime& rt) {
+    return plan_boundary_swaps(rt, policy_, spares_, std::nullopt);
+  }
+
+  /// Transfers every swapped process's state concurrently over the shared
+  /// link; the application stays paused (full barrier) until the last
+  /// transfer lands or is abandoned, then the surviving placement changes
+  /// take effect (an abandoned move leaves the evicted process in place)
+  /// and `finish` runs (plain SWAP resumes; DLB+SWAP repartitions first).
+  void execute(TechniqueRuntime& rt,
+               const std::vector<swap::SwapDecision>& decisions,
+               std::size_t trace_index, std::function<void()> finish);
+
+  /// Crash recovery: rounds of replace-dead-slot-with-online-spare until
+  /// none remains (all-or-nothing; too few spares is terminal).
+  void recover(TechniqueRuntime& rt);
+
+  /// A dead spare is no candidate.
+  void prune_spare(platform::HostId host) { std::erase(spares_, host); }
+
+  /// The eviction guard's iteration-start observer: (re-)arms a watchdog
+  /// that force-swaps processes stuck on reclaimed hosts.
+  [[nodiscard]] std::function<void(IterativeExecution&)> guard_observer(
+      TechniqueRuntime& rt);
+
+ private:
+  void apply_move(TechniqueRuntime& rt, std::size_t slot, platform::HostId to);
+  void note_strike(TechniqueRuntime& rt, platform::HostId to);
+  [[nodiscard]] std::vector<platform::HostId> usable_spares(
+      TechniqueRuntime& rt) const;
+  void recover_round(TechniqueRuntime& rt);
+  void finish_recovery(TechniqueRuntime& rt);
+  void handle_stall(TechniqueRuntime& rt);
+
+  swap::PolicyParams policy_;
+  std::vector<platform::HostId> spares_;
+  double stall_factor_ = 3.0;
+  std::map<platform::HostId, std::size_t> strikes_;  // failed transfers/dst
+  std::set<platform::HostId> blacklist_;
+  std::function<void(TechniqueRuntime&)> post_recovery_;
+  std::size_t recovery_begin_recoveries_ = 0;
+};
+
+/// Free repartitioning (the paper treats redistribution as a lower bound:
+/// zero cost).  Stateless; usable standalone (DLB) or post-swap (DLB+SWAP).
+class DlbComponent {
+ public:
+  /// Rebalances for the placement's current effective speeds.
+  static void repartition_effective(IterativeExecution& exec);
+
+  /// Rebalances for the estimator's predicted speeds, floored at 1 flop/s
+  /// so a host predicted offline keeps a sliver instead of dividing by 0.
+  static void repartition_estimated(TechniqueRuntime& rt);
+
+  /// Crash recovery: dead slots are reassigned round-robin to the
+  /// surviving allocated hosts (online first, fastest first) and the work
+  /// repartitioned, at zero cost like every DLB adaptation.  All hosts
+  /// dead is terminal.
+  static void recover(TechniqueRuntime& rt);
+};
+
+/// Checkpoint/restart against a reliable central store: policy-gated
+/// whole-application restarts at boundaries, rollback to the last
+/// successful checkpoint on a crash.
+class CrComponent {
+ public:
+  CrComponent(swap::PolicyParams policy, std::vector<platform::HostId> pool)
+      : policy_(std::move(policy)), pool_(std::move(pool)) {}
+
+  /// CR's true adaptation cost, charged in the payback computation via
+  /// PlanContext::adaptation_cost_s: write N states, restart the
+  /// application, read N states.
+  [[nodiscard]] static double adaptation_cost(IterativeExecution& exec);
+
+  void at_boundary(TechniqueRuntime& rt, std::function<void()> resume);
+
+  /// Crash recovery: roll back to the last successful checkpoint (from
+  /// scratch when none exists), pay the restart startup, re-read the
+  /// checkpoint from the reliable store and resume on the best pool hosts
+  /// still alive.  Too few online pool hosts is terminal.
+  void recover(TechniqueRuntime& rt);
+
+  /// Dead hosts leave the pool for good.
+  void prune(platform::HostId host) { std::erase(pool_, host); }
+
+ private:
+  [[nodiscard]] std::vector<platform::HostId> best_of_pool(
+      TechniqueRuntime& rt, const std::vector<platform::HostId>& pool,
+      std::size_t n) const;
+  [[nodiscard]] std::vector<platform::HostId> online_pool(
+      TechniqueRuntime& rt) const;
+  void checkpoint_and_restart(TechniqueRuntime& rt, std::size_t trace_index,
+                              std::function<void()> resume);
+  void finish_restart(TechniqueRuntime& rt);
+
+  swap::PolicyParams policy_;
+  std::vector<platform::HostId> pool_;  // every allocated host still alive
+  bool has_ckpt_ = false;           // a checkpoint write has succeeded
+  std::size_t last_ckpt_iter_ = 0;  // iterations covered by that checkpoint
+};
+
+}  // namespace simsweep::strategy

@@ -1,0 +1,103 @@
+#include "strategy/decision_trace.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace simsweep::strategy {
+
+const char* to_string(TraceKind kind) noexcept {
+  switch (kind) {
+    case TraceKind::kBoundary:
+      return "boundary";
+    case TraceKind::kRecovery:
+      return "recovery";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Shortest round-trip representation; non-finite values (an infinite
+/// payback means "no gain at all") become null, which JSON can carry.
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void write_trace_jsonl(std::ostream& os, const std::string& strategy,
+                       std::uint64_t seed, std::size_t trial,
+                       const std::vector<DecisionRecord>& trace) {
+  std::string line;
+  for (const DecisionRecord& rec : trace) {
+    line.clear();
+    line += "{\"strategy\":";
+    append_string(line, strategy);
+    line += ",\"trial\":" + std::to_string(trial);
+    line += ",\"seed\":" + std::to_string(seed);
+    line += ",\"kind\":\"";
+    line += to_string(rec.kind);
+    line += "\",\"iteration\":" + std::to_string(rec.iteration);
+    line += ",\"time_s\":";
+    append_number(line, rec.time_s);
+    if (rec.kind == TraceKind::kBoundary) {
+      line += ",\"measured_iter_time_s\":";
+      append_number(line, rec.measured_iter_time_s);
+      line += ",\"predicted_iter_time_s\":";
+      append_number(line, rec.predicted_iter_time_s);
+      line += ",\"adaptation_cost_s\":";
+      append_number(line, rec.adaptation_cost_s);
+      line += ",\"active\":" + std::to_string(rec.active_count);
+      line += ",\"spares\":" + std::to_string(rec.spare_count);
+      line += ",\"swaps_planned\":" + std::to_string(rec.swaps_planned);
+      line += ",\"swaps_applied\":" + std::to_string(rec.swaps_applied);
+      line += ",\"considered\":[";
+      bool first = true;
+      for (const swap::CandidateEvaluation& c : rec.considered) {
+        if (!first) line += ',';
+        first = false;
+        line += "{\"slot\":" + std::to_string(c.slot);
+        line += ",\"from\":" + std::to_string(c.from);
+        line += ",\"to\":" + std::to_string(c.to);
+        line += ",\"from_est_speed\":";
+        append_number(line, c.from_est_speed);
+        line += ",\"to_est_speed\":";
+        append_number(line, c.to_est_speed);
+        line += ",\"payback_iters\":";
+        append_number(line, c.payback_iters);
+        line += ",\"process_gain\":";
+        append_number(line, c.process_gain);
+        line += ",\"app_gain\":";
+        append_number(line, c.app_gain);
+        line += ",\"rejection\":\"";
+        line += swap::to_string(c.rejection);
+        line += "\"}";
+      }
+      line += ']';
+    } else {
+      line += ",\"action\":";
+      append_string(line, rec.action);
+      line += ",\"processes\":" + std::to_string(rec.processes);
+    }
+    line += "}\n";
+    os << line;
+  }
+}
+
+}  // namespace simsweep::strategy

@@ -1,0 +1,82 @@
+// Structured per-decision accounting for the strategy layer.
+//
+// Every iteration boundary at which a policy weighed candidate swaps, and
+// every fault-recovery action, can be recorded as a DecisionRecord.  The
+// records collect into RunResult::decision_trace (only when tracing is
+// enabled — the vectors stay empty otherwise, so the hot path pays one
+// branch) and serialise as JSON lines for offline analysis (CLI
+// `--trace-decisions`, bench/abl_decision_trace).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "swap/planner.hpp"
+
+namespace simsweep::strategy {
+
+enum class TraceKind : std::uint8_t {
+  kBoundary = 0,  ///< a boundary planning round (candidates weighed)
+  kRecovery,      ///< a fault-recovery action (restart, replace, stall swap)
+};
+
+[[nodiscard]] const char* to_string(TraceKind kind) noexcept;
+
+/// One traced policy decision or recovery action.
+struct DecisionRecord {
+  TraceKind kind = TraceKind::kBoundary;
+
+  /// Iterations completed when the record was made.
+  std::size_t iteration = 0;
+
+  /// Simulated time of the record.
+  double time_s = 0.0;
+
+  // --- boundary records ---------------------------------------------------
+
+  /// Last measured iteration time fed to the planner (0 on the first
+  /// boundary: nothing measured yet, so the planner declines to act).
+  double measured_iter_time_s = 0.0;
+
+  /// Planner's predicted iteration time for the unmodified placement.
+  double predicted_iter_time_s = 0.0;
+
+  /// Adaptation pause charged in the payback computation: the per-process
+  /// transfer estimate for swapping, the full write + restart + read cost
+  /// for checkpoint/restart.
+  double adaptation_cost_s = 0.0;
+
+  std::size_t active_count = 0;
+  std::size_t spare_count = 0;
+
+  /// Every candidate the planner examined, with its payback distance and
+  /// the policy parameter that rejected it (if any).
+  std::vector<swap::CandidateEvaluation> considered;
+
+  std::size_t swaps_planned = 0;
+
+  /// Planned swaps whose state transfer actually landed (abandoned moves
+  /// leave the evicted process in place); for CR, restarts completed.
+  std::size_t swaps_applied = 0;
+
+  // --- recovery records ---------------------------------------------------
+
+  /// What the technique did: "restart_from_scratch",
+  /// "rebalance_onto_survivors", "replace_on_spares", "checkpoint_restore",
+  /// "stall_force_swap", "host_blacklisted", "resource_exhausted".
+  std::string action;
+
+  /// Processes affected by the action.
+  std::size_t processes = 0;
+};
+
+/// Serialises one trace as JSON lines: one object per record, annotated
+/// with the run's identity so traces from many trials can be concatenated.
+void write_trace_jsonl(std::ostream& os, const std::string& strategy,
+                       std::uint64_t seed, std::size_t trial,
+                       const std::vector<DecisionRecord>& trace);
+
+}  // namespace simsweep::strategy

@@ -1,0 +1,56 @@
+#include <algorithm>
+#include <vector>
+
+#include "strategy/components.hpp"
+
+namespace simsweep::strategy {
+
+void DlbComponent::repartition_effective(IterativeExecution& exec) {
+  exec.set_partition(app::WorkPartition::proportional(
+      effective_speeds(exec.cluster(), exec.placement())));
+}
+
+void DlbComponent::repartition_estimated(TechniqueRuntime& rt) {
+  IterativeExecution& exec = rt.exec();
+  const sim::SimTime now = rt.now();
+  std::vector<double> speeds;
+  speeds.reserve(exec.placement().size());
+  for (platform::HostId h : exec.placement())
+    speeds.push_back(
+        std::max(1.0, rt.estimator().estimate(exec.cluster().host(h), now)));
+  exec.set_partition(app::WorkPartition::proportional(speeds));
+}
+
+void DlbComponent::recover(TechniqueRuntime& rt) {
+  IterativeExecution& exec = rt.exec();
+  std::vector<std::size_t> dead;
+  std::vector<platform::HostId> survivors;
+  for (std::size_t slot = 0; slot < exec.placement().size(); ++slot) {
+    const platform::HostId h = exec.placement()[slot];
+    if (exec.cluster().host(h).crashed()) {
+      dead.push_back(slot);
+    } else if (std::find(survivors.begin(), survivors.end(), h) ==
+               survivors.end()) {
+      survivors.push_back(h);
+    }
+  }
+  std::stable_sort(survivors.begin(), survivors.end(),
+                   [&](platform::HostId a, platform::HostId b) {
+                     const auto& ha = exec.cluster().host(a);
+                     const auto& hb = exec.cluster().host(b);
+                     if (ha.online() != hb.online()) return ha.online();
+                     return ha.effective_speed() > hb.effective_speed();
+                   });
+  if (survivors.empty()) {
+    rt.mark_resource_exhausted();
+    return;
+  }
+  for (std::size_t i = 0; i < dead.size(); ++i)
+    exec.move_process(dead[i], survivors[i % survivors.size()]);
+  exec.result().failures.crash_recoveries += dead.size();
+  repartition_effective(exec);
+  rt.trace_recovery("rebalance_onto_survivors", dead.size());
+  exec.restart_iteration();
+}
+
+}  // namespace simsweep::strategy

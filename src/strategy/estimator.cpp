@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "strategy/schedule.hpp"
+#include "swap/policy.hpp"
 
 namespace simsweep::strategy {
 
@@ -45,6 +46,13 @@ std::shared_ptr<SpeedEstimator> make_forecast_estimator(
     ForecastEstimator::Factory factory, std::string label) {
   return std::make_shared<ForecastEstimator>(std::move(factory),
                                              std::move(label));
+}
+
+std::shared_ptr<SpeedEstimator> make_policy_estimator(
+    const swap::PolicyParams& policy,
+    const std::shared_ptr<SpeedEstimator>& preferred) {
+  if (preferred) return preferred->fresh();
+  return make_window_estimator(policy.history_window_s);
 }
 
 }  // namespace simsweep::strategy

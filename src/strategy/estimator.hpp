@@ -83,3 +83,20 @@ class ForecastEstimator final : public SpeedEstimator {
     ForecastEstimator::Factory factory, std::string label);
 
 }  // namespace simsweep::strategy
+
+namespace simsweep::swap {
+struct PolicyParams;  // swap/policy.hpp
+}
+
+namespace simsweep::strategy {
+
+/// The one place that turns a policy plus an optional caller-preferred
+/// estimator into the estimator a launched run actually uses: a fresh()
+/// clone of `preferred` when given (so one configured estimator can be
+/// reused across trials without leaking learned state), otherwise the
+/// paper's windowed mean driven by the policy's history_window_s.
+[[nodiscard]] std::shared_ptr<SpeedEstimator> make_policy_estimator(
+    const swap::PolicyParams& policy,
+    const std::shared_ptr<SpeedEstimator>& preferred = nullptr);
+
+}  // namespace simsweep::strategy

@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "strategy/decision_trace.hpp"
+
 namespace simsweep::strategy {
 
 /// Failure accounting for one run under fault injection.  All zero when
@@ -85,6 +87,10 @@ struct RunResult {
 
   /// Fault-injection accounting; all zero when faults are disabled.
   FailureStats failures;
+
+  /// Per-decision records (boundary planning rounds, recovery actions).
+  /// Empty unless the run was launched with decision tracing enabled.
+  std::vector<DecisionRecord> decision_trace;
 };
 
 }  // namespace simsweep::strategy

@@ -42,6 +42,11 @@ struct StrategyContext {
   /// to host crashes; with a null injector behaviour is bitwise identical
   /// to the fault-free code path.
   fault::FaultInjector* faults = nullptr;
+
+  /// Record a DecisionRecord for every boundary planning round and
+  /// recovery action into RunResult::decision_trace.  Tracing never touches
+  /// the simulation itself, so results are identical either way.
+  bool trace_decisions = false;
 };
 
 class Strategy {

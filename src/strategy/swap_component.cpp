@@ -1,0 +1,232 @@
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "strategy/components.hpp"
+#include "swap/payback.hpp"
+
+namespace simsweep::strategy {
+
+BoundaryPlan plan_boundary_swaps(TechniqueRuntime& rt,
+                                 const swap::PolicyParams& policy,
+                                 const std::vector<platform::HostId>& spare_hosts,
+                                 std::optional<double> adaptation_cost_s) {
+  IterativeExecution& exec = rt.exec();
+  const sim::SimTime now = rt.now();
+  const auto active = make_active_estimates(
+      exec.cluster(), exec.placement(),
+      chunk_flops(exec.spec(), exec.partition()), now, rt.estimator());
+  const auto spares = make_spare_estimates(exec.cluster(), spare_hosts, now,
+                                           rt.estimator());
+  const platform::LinkSpec& link = exec.cluster().link();
+  const swap::PlanContext plan_ctx{
+      .measured_iter_time_s = exec.last_iteration_time(),
+      .state_bytes = exec.spec().state_bytes_per_process,
+      .link_latency_s = link.latency_s,
+      .link_bandwidth_Bps = link.bandwidth_Bps,
+      .comm_time_s = estimate_comm_time(exec.spec(), link),
+      .adaptation_cost_s = adaptation_cost_s,
+  };
+  BoundaryPlan out;
+  out.plan = swap::evaluate_swaps(policy, active, spares, plan_ctx);
+  const double cost =
+      adaptation_cost_s
+          ? *adaptation_cost_s
+          : swap::estimate_swap_time(plan_ctx.state_bytes, link.latency_s,
+                                     link.bandwidth_Bps);
+  out.trace_index = rt.trace_boundary(out.plan, plan_ctx.measured_iter_time_s,
+                                      cost, active.size(), spares.size());
+  return out;
+}
+
+/// Moves `slot`'s process onto `to`, updating the spare pool.  A vacated
+/// host returns to the pool unless it is dead or blacklisted.
+void SwapComponent::apply_move(TechniqueRuntime& rt, std::size_t slot,
+                               platform::HostId to) {
+  IterativeExecution& exec = rt.exec();
+  const platform::HostId from = exec.placement()[slot];
+  exec.move_process(slot, to);
+  std::erase(spares_, to);
+  if (!exec.cluster().host(from).crashed() && !blacklist_.contains(from))
+    spares_.push_back(from);
+  ++exec.result().adaptations;
+}
+
+/// Books one failed transfer attempt against destination `to`; repeated
+/// offenders are blacklisted out of the spare pool.
+void SwapComponent::note_strike(TechniqueRuntime& rt, platform::HostId to) {
+  if (rt.faults() == nullptr) return;
+  if (++strikes_[to] != rt.faults()->spec().blacklist_after) return;
+  if (!blacklist_.insert(to).second) return;
+  std::erase(spares_, to);
+  ++rt.exec().result().failures.hosts_blacklisted;
+  rt.trace_recovery("host_blacklisted", 1);
+}
+
+/// Online spares (blacklisted hosts were already removed), fastest first by
+/// the runtime's estimator.
+std::vector<platform::HostId> SwapComponent::usable_spares(
+    TechniqueRuntime& rt) const {
+  IterativeExecution& exec = rt.exec();
+  std::vector<platform::HostId> out;
+  for (platform::HostId h : spares_)
+    if (exec.cluster().host(h).online()) out.push_back(h);
+  const sim::SimTime now = rt.now();
+  std::stable_sort(out.begin(), out.end(),
+                   [&](platform::HostId a, platform::HostId b) {
+                     return rt.estimator().estimate(exec.cluster().host(a),
+                                                    now) >
+                            rt.estimator().estimate(exec.cluster().host(b),
+                                                    now);
+                   });
+  return out;
+}
+
+void SwapComponent::execute(TechniqueRuntime& rt,
+                            const std::vector<swap::SwapDecision>& decisions,
+                            std::size_t trace_index,
+                            std::function<void()> finish) {
+  rt.begin_adaptation_pause();
+  std::vector<TechniqueRuntime::PlannedMove> moves;
+  moves.reserve(decisions.size());
+  for (const swap::SwapDecision& d : decisions)
+    moves.push_back({d.slot, static_cast<platform::HostId>(d.to)});
+  rt.transfer_moves(
+      moves, [this, &rt](platform::HostId to) { note_strike(rt, to); },
+      [this, &rt](std::size_t slot, platform::HostId to) {
+        apply_move(rt, slot, to);
+      },
+      [&rt, trace_index, finish = std::move(finish)](std::size_t landed) {
+        rt.charge_adaptation_pause();
+        rt.trace_swaps_applied(trace_index, landed);
+        finish();
+      });
+}
+
+// ------------------------------------------------------------ crash recovery
+
+void SwapComponent::recover(TechniqueRuntime& rt) {
+  rt.begin_recovery();
+  recovery_begin_recoveries_ = rt.exec().result().failures.crash_recoveries;
+  recover_round(rt);
+}
+
+/// One round of crash recovery: every dead slot gets a replacement spun up
+/// on an online spare, paying a full state transfer each (boundary state is
+/// re-materialised from the surviving peers).  Rounds repeat until no dead
+/// slot remains — transfers can fail or their targets can crash mid-round —
+/// and recovery is all-or-nothing: fewer usable spares than dead slots is
+/// terminal, since a partially-replaced application cannot make progress.
+void SwapComponent::recover_round(TechniqueRuntime& rt) {
+  IterativeExecution& exec = rt.exec();
+  std::vector<std::size_t> dead;
+  for (std::size_t slot = 0; slot < exec.placement().size(); ++slot)
+    if (exec.cluster().host(exec.placement()[slot]).crashed())
+      dead.push_back(slot);
+  if (dead.empty()) {
+    finish_recovery(rt);
+    return;
+  }
+  const auto candidates = usable_spares(rt);
+  if (candidates.size() < dead.size()) {
+    rt.mark_resource_exhausted();
+    return;
+  }
+  std::vector<TechniqueRuntime::PlannedMove> moves;
+  moves.reserve(dead.size());
+  for (std::size_t i = 0; i < dead.size(); ++i)
+    moves.push_back({dead[i], candidates[i]});
+  rt.transfer_moves(
+      moves, [this, &rt](platform::HostId to) { note_strike(rt, to); },
+      [this, &rt](std::size_t slot, platform::HostId to) {
+        apply_move(rt, slot, to);
+        ++rt.exec().result().failures.crash_recoveries;
+      },
+      [this, &rt](std::size_t) { recover_round(rt); });
+}
+
+/// All crashed slots replaced: charge the recovery pause and resume.
+void SwapComponent::finish_recovery(TechniqueRuntime& rt) {
+  rt.charge_recovery_pause();
+  rt.trace_recovery("replace_on_spares",
+                    rt.exec().result().failures.crash_recoveries -
+                        recovery_begin_recoveries_);
+  if (post_recovery_) post_recovery_(rt);
+  rt.exec().restart_iteration();
+}
+
+// ------------------------------------------------------------ eviction guard
+
+/// Forced relocation of every slot stuck on an offline host; fires from the
+/// stall watchdog.  The iteration is aborted (its partial work is lost),
+/// the suspended processes' state is transferred off the reclaimed hosts,
+/// and the iteration restarts on the new placement.
+void SwapComponent::handle_stall(TechniqueRuntime& rt) {
+  IterativeExecution& exec = rt.exec();
+  if (!exec.iteration_in_flight() || exec.done() || rt.recovering()) return;
+
+  std::vector<std::size_t> stuck;
+  for (std::size_t slot = 0; slot < exec.placement().size(); ++slot)
+    if (!exec.cluster().host(exec.placement()[slot]).online())
+      stuck.push_back(slot);
+
+  const auto candidates = usable_spares(rt);
+
+  if (stuck.empty() || candidates.empty()) {
+    // Slow but not evicted, or nowhere to go: check again later.
+    std::weak_ptr<TechniqueRuntime> weak = rt.weak_from_this();
+    rt.watchdog() =
+        exec.simulator().after(stall_factor_ * 60.0, [this, weak] {
+          if (auto s = weak.lock()) handle_stall(*s);
+        });
+    return;
+  }
+
+  exec.abort_iteration();
+  rt.begin_adaptation_pause();
+  const std::size_t count = std::min(stuck.size(), candidates.size());
+  std::vector<TechniqueRuntime::PlannedMove> moves;
+  moves.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    moves.push_back({stuck[i], candidates[i]});
+  rt.transfer_moves(
+      moves, [this, &rt](platform::HostId to) { note_strike(rt, to); },
+      [this, &rt](std::size_t slot, platform::HostId to) {
+        apply_move(rt, slot, to);
+      },
+      [&rt](std::size_t landed) {
+        rt.charge_adaptation_pause();
+        rt.trace_recovery("stall_force_swap", landed);
+        rt.exec().restart_iteration();  // re-arms the watchdog via observer
+      });
+}
+
+std::function<void(IterativeExecution&)> SwapComponent::guard_observer(
+    TechniqueRuntime& rt) {
+  std::weak_ptr<TechniqueRuntime> weak = rt.weak_from_this();
+  return [this, weak](IterativeExecution& e) {
+    auto locked = weak.lock();
+    if (!locked) return;
+    TechniqueRuntime& runtime = *locked;
+    runtime.watchdog().cancel();
+    // Expected duration: the last measured iteration, or a prediction
+    // from current estimates for the very first one.
+    double expected;
+    if (e.result().iterations_completed > 0) {
+      expected = e.last_iteration_time();
+    } else {
+      const auto active = make_active_estimates(
+          e.cluster(), e.placement(), chunk_flops(e.spec(), e.partition()),
+          e.simulator().now(), runtime.estimator());
+      expected = swap::predict_iteration_time(
+          active, estimate_comm_time(e.spec(), e.cluster().link()));
+    }
+    if (!std::isfinite(expected) || expected <= 0.0) expected = 60.0;
+    runtime.watchdog() =
+        e.simulator().after(stall_factor_ * expected, [this, weak] {
+          if (auto s = weak.lock()) handle_stall(*s);
+        });
+  };
+}
+
+}  // namespace simsweep::strategy

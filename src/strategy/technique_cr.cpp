@@ -1,0 +1,57 @@
+// Technique (d), CR: when moving to a better processor set passes the same
+// policy criteria as swapping (with checkpoint/restart's true cost in the
+// payback computation), every process writes its state to a central store,
+// the application restarts on the best processors of the pool, and every
+// process reads the checkpoint.
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "strategy/components.hpp"
+#include "strategy/strategy.hpp"
+
+namespace simsweep::strategy {
+
+namespace {
+
+class CrRemediation final : public Remediation {
+ public:
+  CrRemediation(swap::PolicyParams policy,
+                std::vector<platform::HostId> pool)
+      : cr_(std::move(policy), std::move(pool)) {}
+
+  void at_boundary(TechniqueRuntime& rt,
+                   std::function<void()> resume) override {
+    cr_.at_boundary(rt, std::move(resume));
+  }
+
+  void recover(TechniqueRuntime& rt) override { cr_.recover(rt); }
+
+  void on_host_crashed(TechniqueRuntime& /*rt*/,
+                       platform::HostId host) override {
+    cr_.prune(host);
+  }
+
+ private:
+  CrComponent cr_;
+};
+
+}  // namespace
+
+std::unique_ptr<IterativeExecution> CrStrategy::launch(StrategyContext& ctx) {
+  Allocation alloc = pick_allocation(ctx.cluster, ctx.spec.active_processes,
+                                     ctx.spare_count, ctx.initial_schedule);
+  std::vector<platform::HostId> pool = alloc.active;
+  pool.insert(pool.end(), alloc.spares.begin(), alloc.spares.end());
+  auto rt = std::make_shared<TechniqueRuntime>(
+      ctx.faults, make_policy_estimator(policy_), ctx.trace_decisions);
+  auto exec = std::make_unique<IterativeExecution>(
+      ctx.simulator, ctx.cluster, ctx.network, ctx.spec, alloc.active,
+      app::WorkPartition::equal(ctx.spec.active_processes),
+      TechniqueRuntime::boundary_hook(rt));
+  rt->wire(*exec, std::make_unique<CrRemediation>(policy_, std::move(pool)));
+  exec->start(ctx.cluster.startup_cost(ctx.spec.active_processes));
+  return exec;
+}
+
+}  // namespace simsweep::strategy

@@ -1,0 +1,46 @@
+// Technique (c), DLB: repartition work every iteration so that iteration
+// times are balanced for the processors' current performance.
+// Redistribution itself is free (a lower bound, as in the paper).
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "strategy/components.hpp"
+#include "strategy/strategy.hpp"
+
+namespace simsweep::strategy {
+
+namespace {
+
+class DlbRemediation final : public Remediation {
+ public:
+  void at_boundary(TechniqueRuntime& rt,
+                   std::function<void()> resume) override {
+    DlbComponent::repartition_effective(rt.exec());
+    ++rt.exec().result().adaptations;
+    resume();
+  }
+
+  void recover(TechniqueRuntime& rt) override { DlbComponent::recover(rt); }
+};
+
+}  // namespace
+
+std::unique_ptr<IterativeExecution> DlbStrategy::launch(StrategyContext& ctx) {
+  Allocation alloc = pick_allocation(ctx.cluster, ctx.spec.active_processes, 0,
+                                     ctx.initial_schedule);
+  // Initial partition balances iteration times for the speeds observed at
+  // startup; each boundary rebalances for current speeds, at zero cost.
+  auto initial = app::WorkPartition::proportional(
+      effective_speeds(ctx.cluster, alloc.active));
+  auto rt = std::make_shared<TechniqueRuntime>(ctx.faults, nullptr,
+                                               ctx.trace_decisions);
+  auto exec = std::make_unique<IterativeExecution>(
+      ctx.simulator, ctx.cluster, ctx.network, ctx.spec, alloc.active,
+      std::move(initial), TechniqueRuntime::boundary_hook(rt));
+  rt->wire(*exec, std::make_unique<DlbRemediation>());
+  exec->start(ctx.cluster.startup_cost(ctx.spec.active_processes));
+  return exec;
+}
+
+}  // namespace simsweep::strategy

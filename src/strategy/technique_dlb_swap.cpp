@@ -1,0 +1,74 @@
+// Hybrid technique, DLB+SWAP (paper §2: "a DLB implementation could further
+// improve performance through the use of an over-allocation mechanism
+// similar to the one used in our approach"): SwapComponent plus
+// DlbComponent — swap to spares first, then repartition the work
+// proportionally to the estimated speeds of the resulting placement.
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "strategy/components.hpp"
+#include "strategy/strategy.hpp"
+
+namespace simsweep::strategy {
+
+namespace {
+
+class DlbSwapRemediation final : public Remediation {
+ public:
+  DlbSwapRemediation(swap::PolicyParams policy,
+                     std::vector<platform::HostId> spares)
+      : swap_(std::move(policy), std::move(spares)) {
+    // Re-partition for the estimated speeds of the (possibly just changed)
+    // placement; counted as part of the same adaptation, at zero cost.
+    swap_.set_post_recovery(
+        [](TechniqueRuntime& rt) { DlbComponent::repartition_estimated(rt); });
+  }
+
+  void at_boundary(TechniqueRuntime& rt,
+                   std::function<void()> resume) override {
+    const BoundaryPlan planned = swap_.plan(rt);
+    if (planned.plan.decisions.empty()) {
+      DlbComponent::repartition_estimated(rt);
+      resume();
+      return;
+    }
+    swap_.execute(rt, planned.plan.decisions, planned.trace_index,
+                  [&rt, resume = std::move(resume)] {
+                    DlbComponent::repartition_estimated(rt);
+                    resume();
+                  });
+  }
+
+  void recover(TechniqueRuntime& rt) override { swap_.recover(rt); }
+
+  void on_host_crashed(TechniqueRuntime& /*rt*/,
+                       platform::HostId host) override {
+    swap_.prune_spare(host);
+  }
+
+ private:
+  SwapComponent swap_;
+};
+
+}  // namespace
+
+std::unique_ptr<IterativeExecution> DlbSwapStrategy::launch(
+    StrategyContext& ctx) {
+  Allocation alloc = pick_allocation(ctx.cluster, ctx.spec.active_processes,
+                                     ctx.spare_count, ctx.initial_schedule);
+  auto rt = std::make_shared<TechniqueRuntime>(
+      ctx.faults, make_policy_estimator(policy_), ctx.trace_decisions);
+  auto exec = std::make_unique<IterativeExecution>(
+      ctx.simulator, ctx.cluster, ctx.network, ctx.spec, alloc.active,
+      app::WorkPartition::proportional(
+          effective_speeds(ctx.cluster, alloc.active)),
+      TechniqueRuntime::boundary_hook(rt));
+  rt->wire(*exec,
+           std::make_unique<DlbSwapRemediation>(policy_, alloc.spares));
+  exec->start(ctx.cluster.startup_cost(alloc.total()));
+  return exec;
+}
+
+}  // namespace simsweep::strategy

@@ -1,0 +1,62 @@
+// Technique (a), NONE: fixed placement and equal partition for the whole
+// run.  No boundary adaptation; a crash means the job is resubmitted from
+// scratch.
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "strategy/runtime.hpp"
+#include "strategy/schedule.hpp"
+#include "strategy/strategy.hpp"
+
+namespace simsweep::strategy {
+
+namespace {
+
+/// NONE's failure semantics: the job is resubmitted from scratch — pay
+/// startup again and recompute every iteration on the fastest hosts still
+/// alive.  No spare pool exists, so too few online hosts is terminal.
+class NoneRemediation final : public Remediation {
+ public:
+  void recover(TechniqueRuntime& rt) override {
+    rt.begin_recovery();
+    IterativeExecution& exec = rt.exec();
+    exec.rollback_to_iteration(0);
+    const std::size_t n = exec.spec().active_processes;
+    auto self = rt.shared_from_this();
+    exec.simulator().after(exec.cluster().startup_cost(n), [self, n] {
+      IterativeExecution& e = self->exec();
+      std::vector<platform::HostId> fastest;
+      for (platform::HostId h : e.cluster().by_effective_speed())
+        if (e.cluster().host(h).online()) fastest.push_back(h);
+      if (fastest.size() < n) {
+        self->mark_resource_exhausted();
+        return;
+      }
+      fastest.resize(n);
+      e.set_placement(std::move(fastest));
+      ++e.result().failures.crash_recoveries;
+      self->charge_recovery_pause();
+      self->trace_recovery("restart_from_scratch", n);
+      e.restart_iteration();
+    });
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<IterativeExecution> NoneStrategy::launch(StrategyContext& ctx) {
+  Allocation alloc = pick_allocation(ctx.cluster, ctx.spec.active_processes, 0,
+                                     ctx.initial_schedule);
+  auto rt = std::make_shared<TechniqueRuntime>(ctx.faults, nullptr,
+                                               ctx.trace_decisions);
+  auto exec = std::make_unique<IterativeExecution>(
+      ctx.simulator, ctx.cluster, ctx.network, ctx.spec, alloc.active,
+      app::WorkPartition::equal(ctx.spec.active_processes),
+      TechniqueRuntime::boundary_hook(rt));
+  rt->wire(*exec, std::make_unique<NoneRemediation>());
+  exec->start(ctx.cluster.startup_cost(ctx.spec.active_processes));
+  return exec;
+}
+
+}  // namespace simsweep::strategy

@@ -1,0 +1,69 @@
+// Technique (b), SWAP: process swapping onto over-allocated spares under a
+// policy, with the optional eviction-guard watchdog.
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "strategy/components.hpp"
+#include "strategy/strategy.hpp"
+
+namespace simsweep::strategy {
+
+namespace {
+
+class SwapRemediation final : public Remediation {
+ public:
+  SwapRemediation(swap::PolicyParams policy,
+                  std::vector<platform::HostId> spares,
+                  const SwapOptions& options)
+      : swap_(std::move(policy), std::move(spares), options.stall_factor),
+        guard_enabled_(options.eviction_guard) {}
+
+  void at_boundary(TechniqueRuntime& rt,
+                   std::function<void()> resume) override {
+    const BoundaryPlan planned = swap_.plan(rt);
+    if (planned.plan.decisions.empty()) {
+      resume();
+      return;
+    }
+    swap_.execute(rt, planned.plan.decisions, planned.trace_index,
+                  std::move(resume));
+  }
+
+  void recover(TechniqueRuntime& rt) override { swap_.recover(rt); }
+
+  void on_host_crashed(TechniqueRuntime& /*rt*/,
+                       platform::HostId host) override {
+    swap_.prune_spare(host);
+  }
+
+  [[nodiscard]] std::function<void(IterativeExecution&)>
+  iteration_start_observer(TechniqueRuntime& rt) override {
+    if (!guard_enabled_) return {};
+    return swap_.guard_observer(rt);
+  }
+
+ private:
+  SwapComponent swap_;
+  bool guard_enabled_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<IterativeExecution> SwapStrategy::launch(StrategyContext& ctx) {
+  Allocation alloc = pick_allocation(ctx.cluster, ctx.spec.active_processes,
+                                     ctx.spare_count, ctx.initial_schedule);
+  auto rt = std::make_shared<TechniqueRuntime>(
+      ctx.faults, make_policy_estimator(policy_, options_.estimator),
+      ctx.trace_decisions);
+  auto exec = std::make_unique<IterativeExecution>(
+      ctx.simulator, ctx.cluster, ctx.network, ctx.spec, alloc.active,
+      app::WorkPartition::equal(ctx.spec.active_processes),
+      TechniqueRuntime::boundary_hook(rt));
+  rt->wire(*exec,
+           std::make_unique<SwapRemediation>(policy_, alloc.spares, options_));
+  exec->start(ctx.cluster.startup_cost(alloc.total()));
+  return exec;
+}
+
+}  // namespace simsweep::strategy

@@ -137,6 +137,7 @@ std::vector<SwapEvent> SwapContext::manager_plan(
       .link_latency_s = config_.link_latency_s,
       .link_bandwidth_Bps = config_.link_bandwidth_Bps,
       .comm_time_s = 0.0,
+      .adaptation_cost_s = std::nullopt,
   };
   const auto decisions = policy::plan_swaps(config_.policy, active, spares, ctx);
 

@@ -12,13 +12,29 @@
 namespace simsweep::swap {
 
 namespace {
-/// Speed floor applied inside plan_swaps so an offline host (estimate 0)
+/// Speed floor applied inside evaluate_swaps so an offline host (estimate 0)
 /// compares as "infinitely slow" without breaking the payback division.
 constexpr double kSpeedFloor = 1e-6;
 }  // namespace
 
 /// Stand-in for an unbounded iteration time (offline bottleneck).
 constexpr double kTimeInfinityIter = std::numeric_limits<double>::infinity();
+
+const char* to_string(RejectReason reason) noexcept {
+  switch (reason) {
+    case RejectReason::kAccepted:
+      return "accepted";
+    case RejectReason::kNoFasterSpare:
+      return "no_faster_spare";
+    case RejectReason::kProcessGain:
+      return "min_process_improvement";
+    case RejectReason::kPayback:
+      return "payback_threshold";
+    case RejectReason::kAppGain:
+      return "min_app_improvement";
+  }
+  return "unknown";
+}
 
 double predict_iteration_time(const std::vector<ActiveProcess>& active,
                               double comm_time_s) {
@@ -34,20 +50,20 @@ double predict_iteration_time(const std::vector<ActiveProcess>& active,
   return bottleneck + comm_time_s;
 }
 
-std::vector<SwapDecision> plan_swaps(const PolicyParams& policy,
-                                     std::vector<ActiveProcess> active,
-                                     std::vector<HostEstimate> spares,
-                                     const PlanContext& ctx) {
-  std::vector<SwapDecision> decisions;
-  if (active.empty() || spares.empty()) return decisions;
-  if (ctx.measured_iter_time_s <= 0.0) return decisions;  // nothing measured yet
+SwapPlan evaluate_swaps(const PolicyParams& policy,
+                        std::vector<ActiveProcess> active,
+                        std::vector<HostEstimate> spares,
+                        const PlanContext& ctx) {
+  SwapPlan plan;
+  if (active.empty() || spares.empty()) return plan;
+  if (ctx.measured_iter_time_s <= 0.0) return plan;  // nothing measured yet
 
   for (ActiveProcess& p : active) p.est_speed = std::max(p.est_speed, kSpeedFloor);
   for (HostEstimate& h : spares) h.est_speed = std::max(h.est_speed, kSpeedFloor);
 
   const double swap_time =
-      ctx.fixed_swap_time_s > 0.0
-          ? ctx.fixed_swap_time_s
+      ctx.adaptation_cost_s
+          ? *ctx.adaptation_cost_s
           : estimate_swap_time(ctx.state_bytes, ctx.link_latency_s,
                                ctx.link_bandwidth_Bps);
 
@@ -59,8 +75,9 @@ std::vector<SwapDecision> plan_swaps(const PolicyParams& policy,
   std::size_t next_spare = 0;
 
   double current_iter_time = predict_iteration_time(active, ctx.comm_time_s);
+  plan.predicted_iter_time_s = current_iter_time;
 
-  while (decisions.size() < policy.max_swaps_per_decision &&
+  while (plan.decisions.size() < policy.max_swaps_per_decision &&
          next_spare < spares.size()) {
     // Slowest active process = the one predicted to take longest on its
     // chunk (with equal chunks this is simply the slowest host).
@@ -71,44 +88,63 @@ std::vector<SwapDecision> plan_swaps(const PolicyParams& policy,
         });
     const HostEstimate& candidate = spares[next_spare];
 
-    if (candidate.est_speed <= slowest->est_speed) break;  // no faster spare
-
-    // Threshold 1: per-process improvement ("stiction").
-    const double process_gain =
-        candidate.est_speed / slowest->est_speed - 1.0;
-    if (process_gain < policy.min_process_improvement) break;
-
-    // Threshold 2: payback distance within the policy's risk budget.
-    const double payback =
+    // Evaluate every metric for the candidate, then apply the thresholds in
+    // policy order: no-faster-spare, per-process improvement ("stiction"),
+    // payback distance within the policy's risk budget, whole-application
+    // improvement (predicted iteration rates before/after a tentative
+    // application of the swap).
+    CandidateEvaluation eval;
+    eval.slot = slowest->slot;
+    eval.from = slowest->host;
+    eval.to = candidate.host;
+    eval.from_est_speed = slowest->est_speed;
+    eval.to_est_speed = candidate.est_speed;
+    eval.process_gain = candidate.est_speed / slowest->est_speed - 1.0;
+    eval.payback_iters =
         payback_distance(swap_time, ctx.measured_iter_time_s,
                          slowest->est_speed, candidate.est_speed);
-    if (payback < 0.0 || payback > policy.payback_threshold_iters) break;
-
-    // Threshold 3: whole-application improvement.  Compare predicted
-    // iteration rates before/after tentatively applying the swap.
     std::vector<ActiveProcess> after = active;
-    after[static_cast<std::size_t>(slowest - active.begin())].est_speed =
-        candidate.est_speed;
-    after[static_cast<std::size_t>(slowest - active.begin())].host =
-        candidate.host;
+    const auto slowest_idx = static_cast<std::size_t>(slowest - active.begin());
+    after[slowest_idx].est_speed = candidate.est_speed;
+    after[slowest_idx].host = candidate.host;
     const double new_iter_time = predict_iteration_time(after, ctx.comm_time_s);
-    const double app_gain = current_iter_time / new_iter_time - 1.0;
-    if (app_gain < policy.min_app_improvement) break;
+    eval.app_gain = current_iter_time / new_iter_time - 1.0;
 
-    decisions.push_back(SwapDecision{
-        .slot = slowest->slot,
-        .from = slowest->host,
-        .to = candidate.host,
-        .predicted_payback_iters = payback,
-        .predicted_process_gain = process_gain,
-        .predicted_app_gain = app_gain,
+    if (candidate.est_speed <= slowest->est_speed)
+      eval.rejection = RejectReason::kNoFasterSpare;
+    else if (eval.process_gain < policy.min_process_improvement)
+      eval.rejection = RejectReason::kProcessGain;
+    else if (eval.payback_iters < 0.0 ||
+             eval.payback_iters > policy.payback_threshold_iters)
+      eval.rejection = RejectReason::kPayback;
+    else if (eval.app_gain < policy.min_app_improvement)
+      eval.rejection = RejectReason::kAppGain;
+
+    plan.considered.push_back(eval);
+    if (!eval.accepted()) break;  // greedy rounds stop at the first rejection
+
+    plan.decisions.push_back(SwapDecision{
+        .slot = eval.slot,
+        .from = eval.from,
+        .to = eval.to,
+        .predicted_payback_iters = eval.payback_iters,
+        .predicted_process_gain = eval.process_gain,
+        .predicted_app_gain = eval.app_gain,
     });
 
     active = std::move(after);
     current_iter_time = new_iter_time;
     ++next_spare;
   }
-  return decisions;
+  return plan;
+}
+
+std::vector<SwapDecision> plan_swaps(const PolicyParams& policy,
+                                     std::vector<ActiveProcess> active,
+                                     std::vector<HostEstimate> spares,
+                                     const PlanContext& ctx) {
+  return evaluate_swaps(policy, std::move(active), std::move(spares), ctx)
+      .decisions;
 }
 
 }  // namespace simsweep::swap

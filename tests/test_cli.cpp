@@ -127,6 +127,9 @@ TEST(ConfigBuild, Strategies) {
   cli::Args cr({"--strategy=cr"});
   EXPECT_EQ(cli::build_strategy(cr)->name(), "CR");
 
+  cli::Args dlbswap({"--strategy=dlbswap", "--policy=greedy"});
+  EXPECT_EQ(cli::build_strategy(dlbswap)->name(), "DLB+SWAP(greedy)");
+
   cli::Args bad({"--strategy=warp"});
   EXPECT_THROW((void)cli::build_strategy(bad), std::invalid_argument);
   cli::Args badpol({"--strategy=swap", "--policy=reckless"});

@@ -110,6 +110,7 @@ TEST(Planner, UnequalChunksPickTheRealBottleneck) {
       .link_latency_s = 1e-4,
       .link_bandwidth_Bps = 6.0e6,
       .comm_time_s = 0.0,
+      .adaptation_cost_s = std::nullopt,
   };
   const auto decisions = swp::plan_swaps(swp::greedy_policy(), active, spares, ctx);
   ASSERT_EQ(decisions.size(), 1u);
@@ -131,6 +132,7 @@ TEST(Planner, AppGainAccountsForCommFloor) {
       .link_latency_s = 1e-4,
       .link_bandwidth_Bps = 6.0e6,
       .comm_time_s = 99.0,  // compute is 1 s; comm dominates
+      .adaptation_cost_s = std::nullopt,
   };
   EXPECT_TRUE(
       swp::plan_swaps(swp::friendly_policy(), active, spares, ctx).empty());

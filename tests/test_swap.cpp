@@ -197,6 +197,7 @@ swp::PlanContext basic_ctx(double iter_time = 100.0, double state = 1.0e6) {
       .link_latency_s = 1e-4,
       .link_bandwidth_Bps = 6.0e6,
       .comm_time_s = 0.0,
+      .adaptation_cost_s = std::nullopt,
   };
 }
 
