@@ -5,6 +5,7 @@
 // "no swap", "swap then 2x performance" and "swap then 4x performance",
 // plus the payback distances (2 and 1 1/3 iterations respectively), and a
 // cautionary series where the predicted improvement does not materialize.
+#include <cmath>
 #include <cstdio>
 
 #include "swap/payback.hpp"
@@ -37,8 +38,9 @@ int main() {
   const double payback_drop = swp::payback_distance(swap, iter, 1.0, 0.8);
   std::printf("payback(2x) = %.6f iterations (paper: 2)\n", payback2);
   std::printf("payback(4x) = %.6f iterations (paper: 1 1/3)\n", payback4);
-  std::printf("payback(0.8x) = %.6f (negative: swap can only hurt)\n\n",
-              payback_drop);
+  std::printf("payback(0.8x) = %s (swap can only hurt: never pays back, "
+              "no finite threshold accepts it)\n\n",
+              std::isinf(payback_drop) ? "inf" : "FINITE?!");
 
   std::puts("-- csv --");
   std::puts("time,no_swap,swap_2x,swap_4x,swap_regression_0.8x");

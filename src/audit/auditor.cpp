@@ -1,0 +1,63 @@
+#include "audit/auditor.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+namespace simsweep::audit {
+
+const char* to_string(AuditMode mode) noexcept {
+  switch (mode) {
+    case AuditMode::kOff:
+      return "off";
+    case AuditMode::kWarn:
+      return "warn";
+    case AuditMode::kFail:
+      return "fail";
+  }
+  return "unknown";
+}
+
+AuditMode parse_mode(std::string_view text) {
+  if (text.empty() || text == "fail") return AuditMode::kFail;
+  if (text == "warn") return AuditMode::kWarn;
+  if (text == "off") return AuditMode::kOff;
+  throw std::invalid_argument("audit mode must be fail|warn|off, got '" +
+                              std::string(text) + "'");
+}
+
+AuditMode mode_from_env() {
+  const char* value = std::getenv("SIMSWEEP_AUDIT");
+  if (value == nullptr || *value == '\0') return AuditMode::kOff;
+  return parse_mode(value);
+}
+
+std::string to_string(const Violation& v) {
+  return "invariant violation [" + v.subsystem + "/" + v.invariant + "] at t=" +
+         std::to_string(v.time_s) + "s: " + v.detail;
+}
+
+AuditFailure::AuditFailure(const Violation& violation)
+    : std::runtime_error(to_string(violation)) {}
+
+void InvariantAuditor::report(std::string_view subsystem,
+                              std::string_view invariant, sim::SimTime time_s,
+                              std::string detail) {
+  if (mode_ == AuditMode::kOff) return;
+  Violation violation{std::string(subsystem), std::string(invariant), time_s,
+                      std::move(detail)};
+  if (mode_ == AuditMode::kFail) throw AuditFailure(violation);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  violations_.push_back(std::move(violation));
+}
+
+std::size_t InvariantAuditor::violation_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return violations_.size();
+}
+
+std::vector<Violation> InvariantAuditor::take_violations() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return std::exchange(violations_, {});
+}
+
+}  // namespace simsweep::audit

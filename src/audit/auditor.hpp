@@ -1,0 +1,100 @@
+// Simulation-wide invariant auditor.
+//
+// Every figure in the paper rests on quantities the simulator must conserve
+// exactly: virtual time only moves forward, the shared link never hands out
+// more than its bandwidth, availability integrals stay in [0, 1], and the
+// makespan decomposes into startup + iterations + overhead.  The auditor is
+// the one registry those checks report into.  It is always compiled and
+// normally off; subsystems guard every check behind a cheap
+// pointer-and-enabled test and only build the violation message once a check
+// has actually failed, so a non-audited run does no extra work and allocates
+// nothing.
+//
+// Modes:
+//   kOff  — auditing disabled; subsystems skip their checks entirely.
+//   kWarn — violations are collected; the experiment layer copies them into
+//           RunResult::audit_report after the run.
+//   kFail — the first violation throws AuditFailure, aborting the run at the
+//           exact simulated instant the invariant broke.
+//
+// Reporting is mutex-protected because swampi ranks (one thread each) may
+// share one auditor; simulator-driven code is single-threaded per run and
+// never contends.
+#pragma once
+
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "simcore/sim_time.hpp"
+
+namespace simsweep::audit {
+
+enum class AuditMode { kOff, kWarn, kFail };
+
+[[nodiscard]] const char* to_string(AuditMode mode) noexcept;
+
+/// Parses "fail", "warn" or "off"; an empty string means "fail" (a bare
+/// --audit flag enables the strict mode).  Throws on anything else.
+[[nodiscard]] AuditMode parse_mode(std::string_view text);
+
+/// Audit mode requested by the SIMSWEEP_AUDIT environment variable
+/// ("fail" / "warn" / "off"); kOff when unset.  Lets CI run the whole test
+/// suite audited without threading a flag through every harness.
+[[nodiscard]] AuditMode mode_from_env();
+
+/// One broken invariant, with enough context to find the culprit: which
+/// subsystem reported it, which invariant broke, at what simulated time, and
+/// the offending values.
+struct Violation {
+  std::string subsystem;
+  std::string invariant;
+  sim::SimTime time_s = 0.0;
+  std::string detail;
+};
+
+/// "invariant violation [subsystem/invariant] at t=...s: detail".
+[[nodiscard]] std::string to_string(const Violation& violation);
+
+/// Thrown by InvariantAuditor::report in kFail mode.
+class AuditFailure : public std::runtime_error {
+ public:
+  explicit AuditFailure(const Violation& violation);
+};
+
+class InvariantAuditor {
+ public:
+  explicit InvariantAuditor(AuditMode mode = AuditMode::kOff) : mode_(mode) {}
+
+  InvariantAuditor(const InvariantAuditor&) = delete;
+  InvariantAuditor& operator=(const InvariantAuditor&) = delete;
+
+  [[nodiscard]] AuditMode mode() const noexcept { return mode_; }
+
+  /// The guard every instrumentation site checks before doing any work.
+  [[nodiscard]] bool enabled() const noexcept {
+    return mode_ != AuditMode::kOff;
+  }
+
+  /// Records one broken invariant.  Throws AuditFailure in kFail mode,
+  /// collects the violation in kWarn mode, and is a no-op in kOff mode
+  /// (call sites should not report when disabled, but a stray report must
+  /// not perturb anything).
+  void report(std::string_view subsystem, std::string_view invariant,
+              sim::SimTime time_s, std::string detail);
+
+  [[nodiscard]] std::size_t violation_count() const;
+
+  /// Collected violations (kWarn mode); empty in kFail mode because the
+  /// first report throws instead.
+  [[nodiscard]] std::vector<Violation> take_violations();
+
+ private:
+  AuditMode mode_;
+  mutable std::mutex mutex_;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace simsweep::audit

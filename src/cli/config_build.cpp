@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "audit/auditor.hpp"
 #include "forecast/forecaster.hpp"
 #include "load/hyperexp.hpp"
 #include "load/misc_models.hpp"
@@ -41,6 +42,9 @@ core::ExperimentConfig build_config(Args& args) {
   cfg.faults.validate();
   cfg.max_events = static_cast<std::uint64_t>(
       args.get_int("max-events", static_cast<long>(cfg.max_events)));
+  // Bare --audit means fail-fast; --audit=warn collects into the report.
+  if (args.has("audit"))
+    cfg.audit = audit::parse_mode(args.get_string("audit", ""));
   if (active + cfg.spare_count > cfg.cluster.host_count)
     throw std::invalid_argument(
         "config: active + spares exceeds --hosts");

@@ -50,6 +50,11 @@ execution/output flags (run, sweep):
   --trace-decisions=FILE  (run) write one JSON line per policy decision —
              candidates weighed, payback distance, rejection reason,
              recovery actions — across all trials; makespans are unchanged
+  --audit[=fail|warn]  run the invariant auditor over every trial: fail
+             (the default) throws on the first violation, warn collects
+             violations and reports their count.  Checks are read-only, so
+             makespans are bitwise identical with auditing on or off.  The
+             SIMSWEEP_AUDIT env var applies the same modes suite-wide.
 
 load model flags (run, trace):
   --model=onoff   --dynamism=0.2 | --p=0.3 --q=0.08 [--step=100]
@@ -128,6 +133,9 @@ int cmd_run(cli::Args& args) {
   std::printf("makespan stddev %.1f s\n", stats.stddev);
   std::printf("makespan range  [%.1f, %.1f] s\n", stats.min, stats.max);
   std::printf("adaptations     %.1f per run\n", stats.mean_adaptations);
+  if (cfg.audit == simsweep::audit::AuditMode::kWarn)
+    std::printf("audit           %zu violation(s) across all trials\n",
+                stats.audit_violations);
   if (cfg.faults.enabled()) {
     std::printf("host crashes    %.1f per run\n", stats.mean_crashes);
     std::printf("xfer failures   %.1f per run\n", stats.mean_transfer_failures);

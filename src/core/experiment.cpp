@@ -8,6 +8,7 @@
 #include <memory>
 #include <ostream>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "core/trial_runner.hpp"
@@ -16,12 +17,73 @@
 
 namespace simsweep::core {
 
+namespace {
+
+/// End-of-run cross-checks on the assembled RunResult: the per-event audits
+/// in the subsystems see local state; these see the whole ledger at once.
+void audit_run_result(audit::InvariantAuditor& auditor,
+                      const ExperimentConfig& config, sim::SimTime now,
+                      const strategy::RunResult& result) {
+  const strategy::FailureStats& fs = result.failures;
+  if (!config.faults.enabled() &&
+      !(fs == strategy::FailureStats{}))
+    auditor.report("experiment", "no_faults_no_failure_stats", now,
+                   "fault injection disabled but failure counters are "
+                   "non-zero (e.g. " +
+                       std::to_string(fs.transfers_failed) +
+                       " failed transfers, " +
+                       std::to_string(fs.time_lost_s) + " s lost)");
+  // Every failed attempt is eventually retried or abandoned; in-flight
+  // retry sagas may still be pending when a run stalls or hits the
+  // horizon, so the ledger only balances exactly on finished runs.
+  if (fs.transfers_failed < fs.transfers_retried + fs.transfers_abandoned)
+    auditor.report("experiment", "transfer_ledger_balanced", now,
+                   std::to_string(fs.transfers_failed) +
+                       " failed transfers but " +
+                       std::to_string(fs.transfers_retried) + " retried + " +
+                       std::to_string(fs.transfers_abandoned) + " abandoned");
+  if (result.finished &&
+      fs.transfers_failed != fs.transfers_retried + fs.transfers_abandoned)
+    auditor.report("experiment", "transfer_ledger_balanced", now,
+                   "finished run has " + std::to_string(fs.transfers_failed) +
+                       " failed transfers vs " +
+                       std::to_string(fs.transfers_retried) + " retried + " +
+                       std::to_string(fs.transfers_abandoned) + " abandoned");
+  if (fs.time_lost_s < -sim::kTimeEpsilon)
+    auditor.report("experiment", "non_negative_time_lost", now,
+                   "time lost to failures is " +
+                       std::to_string(fs.time_lost_s) + " s");
+  if (result.makespan_s < -sim::kTimeEpsilon ||
+      result.makespan_s >
+          config.horizon_s * (1.0 + 1e-9) + sim::kTimeEpsilon)
+    auditor.report("experiment", "makespan_within_horizon", now,
+                   "makespan " + std::to_string(result.makespan_s) +
+                       " s outside [0, " + std::to_string(config.horizon_s) +
+                       " s]");
+  if (result.finished &&
+      result.iterations_completed != config.app.iterations)
+    auditor.report("experiment", "finished_means_all_iterations", now,
+                   "finished with " +
+                       std::to_string(result.iterations_completed) + " of " +
+                       std::to_string(config.app.iterations) + " iterations");
+}
+
+}  // namespace
+
 strategy::RunResult run_single(const ExperimentConfig& config,
                                const load::LoadModel& model,
                                strategy::Strategy& strat) {
   config.app.validate();
   config.faults.validate();
+  // One auditor per trial: trials fan out across worker threads, and a
+  // local auditor keeps each trial's checks (and warn-mode report) private
+  // to its own simulation.
+  const audit::AuditMode audit_mode = config.audit != audit::AuditMode::kOff
+                                          ? config.audit
+                                          : audit::mode_from_env();
+  audit::InvariantAuditor auditor(audit_mode);
   sim::Simulator simulator;
+  if (auditor.enabled()) simulator.set_auditor(&auditor);
   simulator.set_event_budget(config.max_events);
   sim::Rng platform_rng(config.seed, /*stream=*/0);
   platform::Cluster cluster(simulator, config.cluster, platform_rng);
@@ -72,6 +134,10 @@ strategy::RunResult run_single(const ExperimentConfig& config,
     // the rest the best available makespan is wherever the loop stopped.
     if (!result.resource_exhausted) result.makespan_s = simulator.now();
   }
+  if (auditor.enabled()) {
+    audit_run_result(auditor, config, simulator.now(), result);
+    result.audit_report = auditor.take_violations();
+  }
   return result;
 }
 
@@ -103,6 +169,7 @@ TrialStats reduce_trials(const std::vector<strategy::RunResult>& results) {
     rec_sum += static_cast<double>(r.failures.crash_recoveries);
     ckpt_sum += static_cast<double>(r.failures.checkpoint_failures);
     lost_sum += r.failures.time_lost_s;
+    stats.audit_violations += r.audit_report.size();
     stats.min = std::min(stats.min, r.makespan_s);
     stats.max = std::max(stats.max, r.makespan_s);
   }
@@ -221,7 +288,7 @@ void TrialStats::print_json(std::ostream& os) const {
   json_number(os, mean_checkpoint_failures);
   os << ",\"mean_time_lost_s\":";
   json_number(os, mean_time_lost_s);
-  os << "}";
+  os << ",\"audit_violations\":" << audit_violations << "}";
 }
 
 void SeriesReport::print_table(std::ostream& os) const {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "app/app_spec.hpp"
+#include "audit/auditor.hpp"
 #include "fault/fault.hpp"
 #include "load/load_model.hpp"
 #include "platform/cluster.hpp"
@@ -49,6 +50,14 @@ struct ExperimentConfig {
   /// reasons, recovery actions) into RunResult::decision_trace.  Tracing
   /// never touches the simulation, so makespans are identical either way.
   bool trace_decisions = false;
+
+  /// Invariant auditing.  kOff (the default) skips every check; kFail
+  /// throws audit::AuditFailure at the first violation; kWarn collects
+  /// violations into RunResult::audit_report.  Audit checks are read-only —
+  /// makespans are bitwise identical with auditing on or off.  When left
+  /// kOff, the SIMSWEEP_AUDIT environment variable ("fail"/"warn") applies
+  /// instead, so whole test suites can run audited without code changes.
+  audit::AuditMode audit = audit::AuditMode::kOff;
 };
 
 /// One simulated run of `strategy` under `model`.  Fully deterministic in
@@ -80,6 +89,10 @@ struct TrialStats {
   double mean_recoveries = 0.0;
   double mean_checkpoint_failures = 0.0;
   double mean_time_lost_s = 0.0;
+
+  /// Total invariant violations collected across trials (warn-mode audits
+  /// only; fail mode throws before reaching the reduction).
+  std::size_t audit_violations = 0;
 
   /// One-line JSON object with every field above.
   void print_json(std::ostream& os) const;

@@ -1,6 +1,7 @@
 #include "net/shared_link.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace simsweep::net {
 
@@ -49,20 +50,71 @@ void SharedLinkNetwork::admit(const std::shared_ptr<Flow>& flow) {
 }
 
 void SharedLinkNetwork::reshare() {
+  if (resharing_) {
+    // Re-entered from a callback inside the pass below; defer so the outer
+    // pass finishes assigning consistent rates, then re-run.
+    reshare_pending_ = true;
+    return;
+  }
+  resharing_ = true;
+  const audit::InvariantAuditor* auditor = simulator_.auditor();
+  const bool auditing = auditor != nullptr && auditor->enabled();
+  do {
+    reshare_pending_ = false;
+    reshare_pass(auditing);
+  } while (reshare_pending_);
+  resharing_ = false;
+}
+
+void SharedLinkNetwork::reshare_pass(bool auditing) {
   const SimTime now = simulator_.now();
   const double rate =
       flows_.empty() ? 0.0
                      : link_.bandwidth_Bps / static_cast<double>(flows_.size());
+  if (auditing && rate * static_cast<double>(flows_.size()) >
+                      link_.bandwidth_Bps * (1.0 + 1e-9))
+    simulator_.auditor()->report(
+        "net", "rates_within_bandwidth", now,
+        std::to_string(flows_.size()) + " flows at " + std::to_string(rate) +
+            " B/s exceed link bandwidth " +
+            std::to_string(link_.bandwidth_Bps) + " B/s");
   std::vector<std::shared_ptr<Flow>> snapshot = flows_;
   for (auto& flow : snapshot) {
     if (!flow->active()) continue;
-    flow->remaining_ -= flow->rate_ * (now - flow->last_update_);
+    const double elapsed = now - flow->last_update_;
+    flow->remaining_ -= flow->rate_ * elapsed;
+    if (auditing) audit_accrual(*flow, now, elapsed);
     if (flow->remaining_ < 0.0) flow->remaining_ = 0.0;
     flow->last_update_ = now;
     flow->rate_ = rate;
     flow->event_.cancel();
     schedule_completion(flow);
   }
+}
+
+/// Per-flow conservation checks at one accrual point: the interval since the
+/// last re-share is non-negative, and the remaining payload stays within
+/// [-rounding slack, initial bytes].  The slack covers completion-event
+/// quantisation (eta = remaining/rate re-multiplied by rate); genuine
+/// double-accounting overshoots by whole rate*dt amounts, orders beyond it.
+void SharedLinkNetwork::audit_accrual(const Flow& flow, SimTime now,
+                                      double elapsed) const {
+  audit::InvariantAuditor* auditor = simulator_.auditor();
+  if (elapsed < -sim::kTimeEpsilon)
+    auditor->report("net", "non_negative_elapsed", now,
+                    "flow accrued over a negative interval of " +
+                        std::to_string(elapsed) + " s");
+  const double slack = 1e-9 * flow.initial_bytes_ + 1e-3;
+  if (flow.remaining_ < -slack)
+    auditor->report("net", "byte_conservation", now,
+                    "flow overdrew its payload: remaining " +
+                        std::to_string(flow.remaining_) + " B of " +
+                        std::to_string(flow.initial_bytes_) + " B");
+  if (flow.remaining_ > flow.initial_bytes_ + slack)
+    auditor->report("net", "byte_conservation", now,
+                    "flow grew beyond its payload: remaining " +
+                        std::to_string(flow.remaining_) + " B of " +
+                        std::to_string(flow.initial_bytes_) + " B");
 }
 
 void SharedLinkNetwork::schedule_completion(const std::shared_ptr<Flow>& flow) {
@@ -75,6 +127,21 @@ void SharedLinkNetwork::schedule_completion(const std::shared_ptr<Flow>& flow) {
 }
 
 void SharedLinkNetwork::finish(const std::shared_ptr<Flow>& flow) {
+  audit::InvariantAuditor* auditor = simulator_.auditor();
+  if (auditor != nullptr && auditor->enabled()) {
+    // The completion event was scheduled from (remaining, rate); at the
+    // instant it fires the un-accrued residual must be a rounding error,
+    // not unsent payload being silently dropped.
+    const double residual =
+        flow->remaining_ -
+        flow->rate_ * (simulator_.now() - flow->last_update_);
+    const double slack = 1e-9 * flow->initial_bytes_ + 1e-3;
+    if (residual > slack || residual < -slack)
+      auditor->report("net", "byte_conservation", simulator_.now(),
+                      "flow finished with " + std::to_string(residual) +
+                          " B unaccounted of " +
+                          std::to_string(flow->initial_bytes_) + " B");
+  }
   flow->remaining_ = 0.0;
   flow->active_ = false;
   flow->net_ = nullptr;

@@ -40,10 +40,12 @@ class Flow {
  private:
   friend class SharedLinkNetwork;
   Flow(SharedLinkNetwork& net, double bytes, Completion done)
-      : net_(&net), remaining_(bytes), done_(std::move(done)) {}
+      : net_(&net), remaining_(bytes), initial_bytes_(bytes),
+        done_(std::move(done)) {}
 
   SharedLinkNetwork* net_;
   double remaining_;
+  double initial_bytes_;  // payload at start; auditor conservation bound
   Completion done_;
   SimTime last_update_ = 0.0;
   double rate_ = 0.0;  // bytes/s granted at last re-share
@@ -80,13 +82,21 @@ class SharedLinkNetwork {
   friend class Flow;
   void admit(const std::shared_ptr<Flow>& flow);
   void reshare();
+  void reshare_pass(bool auditing);
   void schedule_completion(const std::shared_ptr<Flow>& flow);
   void finish(const std::shared_ptr<Flow>& flow);
   void remove_flow(const Flow* flow);
+  void audit_accrual(const Flow& flow, SimTime now, double elapsed) const;
 
   sim::Simulator& simulator_;
   platform::LinkSpec link_;
   std::vector<std::shared_ptr<Flow>> flows_;  // bandwidth-consuming flows
+  // Re-entrancy guard: a callback reached from inside a re-share pass (a
+  // completion that starts or cancels another flow) must not interleave a
+  // second rate assignment with the one in progress; the nested request is
+  // deferred and the pass re-runs against the settled flow set.
+  bool resharing_ = false;
+  bool reshare_pending_ = false;
 };
 
 }  // namespace simsweep::net

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace simsweep::platform {
@@ -49,6 +50,20 @@ void Host::set_crashed() {
 }
 
 void Host::record_state() {
+  audit::InvariantAuditor* auditor = simulator_.auditor();
+  if (auditor != nullptr && auditor->enabled()) {
+    const double avail = availability();
+    if (avail < 0.0 || avail > 1.0)
+      auditor->report("platform", "availability_in_unit_interval",
+                      simulator_.now(),
+                      name_ + " availability " + std::to_string(avail));
+    if (!load_history_.empty() &&
+        simulator_.now() < load_history_.back().time - sim::kTimeEpsilon)
+      auditor->report("platform", "load_history_time_ordered",
+                      simulator_.now(),
+                      name_ + " history sample behind tail at t=" +
+                          std::to_string(load_history_.back().time));
+  }
   load_history_.push_back(sim::Sample{
       simulator_.now(),
       online_ ? static_cast<double>(external_load_) : kOfflineMarker});
@@ -92,7 +107,19 @@ double Host::mean_availability(SimTime t0, SimTime t1) const {
     value = s.value;
   }
   area += (t1 - cursor) * availability_of_sample(value);
-  return area / (t1 - t0);
+  const double mean = area / (t1 - t0);
+  audit::InvariantAuditor* auditor = simulator_.auditor();
+  if (auditor != nullptr && auditor->enabled()) {
+    // The integral of a step series bounded to [0, 1] must itself land in
+    // [0, 1]; anything else means the window walk double-counted a segment.
+    if (mean < -1e-12 || mean > 1.0 + 1e-12)
+      auditor->report("platform", "availability_integral_in_unit_interval",
+                      simulator_.now(),
+                      name_ + " mean availability " + std::to_string(mean) +
+                          " over [" + std::to_string(t0) + ", " +
+                          std::to_string(t1) + "]");
+  }
+  return mean;
 }
 
 double Host::per_task_rate() const noexcept {
@@ -103,7 +130,13 @@ double Host::per_task_rate() const noexcept {
 }
 
 void Host::accrue(ComputeTask& task, SimTime now) const {
-  task.remaining_ -= task.rate_ * (now - task.last_update_);
+  const double elapsed = now - task.last_update_;
+  audit::InvariantAuditor* auditor = simulator_.auditor();
+  if (auditor != nullptr && auditor->enabled() && elapsed < -sim::kTimeEpsilon)
+    auditor->report("platform", "non_negative_elapsed", now,
+                    name_ + " task accrued over a negative interval of " +
+                        std::to_string(elapsed) + " s");
+  task.remaining_ -= task.rate_ * elapsed;
   if (task.remaining_ < 0.0) task.remaining_ = 0.0;
   task.last_update_ = now;
 }

@@ -65,6 +65,12 @@ class EventQueue {
   /// the heap are still counted until they surface).  Diagnostic only.
   [[nodiscard]] std::size_t size_bound() const { return heap_.size(); }
 
+  /// Total events ever scheduled (fired, cancelled or pending).  The
+  /// auditor checks fired-event counts against this bound.
+  [[nodiscard]] std::uint64_t scheduled_total() const noexcept {
+    return next_seq_;
+  }
+
   /// Time of the earliest live event; kTimeInfinity when empty.
   [[nodiscard]] SimTime next_time() {
     drop_cancelled();

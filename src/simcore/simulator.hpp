@@ -11,6 +11,7 @@
 #include <string>
 #include <utility>
 
+#include "audit/auditor.hpp"
 #include "simcore/event_queue.hpp"
 #include "simcore/sim_time.hpp"
 
@@ -35,6 +36,19 @@ class Simulator {
 
   /// Number of events fired so far.
   [[nodiscard]] std::uint64_t events_fired() const noexcept { return fired_; }
+
+  /// Attaches (or detaches, with nullptr) the invariant auditor.  The
+  /// simulator audits its own clock and event bookkeeping, and every model
+  /// holding a Simulator reference reaches the auditor through here, so
+  /// per-run wiring is a single call.  Checks only read state — an audited
+  /// run is bitwise identical to an unaudited one.
+  void set_auditor(audit::InvariantAuditor* auditor) noexcept {
+    auditor_ = auditor;
+  }
+
+  [[nodiscard]] audit::InvariantAuditor* auditor() const noexcept {
+    return auditor_;
+  }
 
   /// Schedules `cb` at absolute time `at` (must not be in the past).
   EventHandle at(SimTime at, Callback cb) {
@@ -66,6 +80,7 @@ class Simulator {
     while (!stopped_ && !queue_.empty() && queue_.next_time() <= horizon) {
       if (budget_ != 0 && fired_ >= budget_) throw EventBudgetExceeded(budget_);
       auto [t, cb] = queue_.pop();
+      if (auditor_ != nullptr && auditor_->enabled()) audit_pop(t);
       now_ = t;
       ++fired_;
       cb();
@@ -83,11 +98,31 @@ class Simulator {
   [[nodiscard]] bool idle() { return queue_.empty(); }
 
  private:
+  /// Clock/bookkeeping invariants, checked per popped event while auditing:
+  /// virtual time never runs backwards, we never fire more events than were
+  /// scheduled, and the budget guard above actually bounded the count.
+  void audit_pop(SimTime t) {
+    if (t < now_ - kTimeEpsilon)
+      auditor_->report("simcore", "virtual_time_monotonic", now_,
+                       "event at t=" + std::to_string(t) +
+                           " fired behind now=" + std::to_string(now_));
+    if (fired_ >= queue_.scheduled_total())
+      auditor_->report("simcore", "fired_within_scheduled", now_,
+                       std::to_string(fired_) + " events fired but only " +
+                           std::to_string(queue_.scheduled_total()) +
+                           " ever scheduled");
+    if (budget_ != 0 && fired_ >= budget_)
+      auditor_->report("simcore", "event_budget_respected", now_,
+                       "fired " + std::to_string(fired_) +
+                           " events past budget " + std::to_string(budget_));
+  }
+
   EventQueue queue_;
   SimTime now_ = 0.0;
   std::uint64_t fired_ = 0;
   std::uint64_t budget_ = 0;  // 0 = unlimited
   bool stopped_ = false;
+  audit::InvariantAuditor* auditor_ = nullptr;
 };
 
 }  // namespace simsweep::sim

@@ -1,6 +1,9 @@
 #include "strategy/executor.hpp"
 
+#include <cmath>
+#include <numeric>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace simsweep::strategy {
@@ -148,12 +151,22 @@ void IterativeExecution::comm_done() {
 
 void IterativeExecution::iteration_complete() {
   in_flight_ = false;
-  result_.iteration_times_s.push_back(simulator_.now() - iter_start_);
+  const double iter_time = simulator_.now() - iter_start_;
+  audit::InvariantAuditor* auditor = simulator_.auditor();
+  if (auditor != nullptr && auditor->enabled() &&
+      iter_time < -sim::kTimeEpsilon)
+    auditor->report("strategy", "non_negative_iteration_time",
+                    simulator_.now(),
+                    "iteration " +
+                        std::to_string(result_.iterations_completed) +
+                        " measured " + std::to_string(iter_time) + " s");
+  result_.iteration_times_s.push_back(iter_time);
   ++result_.iterations_completed;
   if (result_.iterations_completed >= spec_.iterations) {
     done_ = true;
     result_.finished = true;
     result_.makespan_s = simulator_.now();
+    if (auditor != nullptr && auditor->enabled()) audit_makespan();
     return;
   }
   if (hook_) {
@@ -161,6 +174,35 @@ void IterativeExecution::iteration_complete() {
   } else {
     begin_iteration();
   }
+}
+
+// The paper's headline quantity must balance its own books: every simulated
+// second between submission and completion is either startup, a completed
+// iteration, or an adaptation/recovery pause charged to overhead (aborted
+// partial iterations and rolled-back work are folded into the overhead term
+// by abort_iteration/rollback_to_iteration).  The tolerance is purely for
+// floating-point accumulation over thousands of charges; an uncharged pause
+// would show up as whole seconds, not nanoseconds.
+void IterativeExecution::audit_makespan() {
+  const double accounted =
+      result_.startup_s + result_.adaptation_overhead_s +
+      std::accumulate(result_.iteration_times_s.begin(),
+                      result_.iteration_times_s.end(), 0.0);
+  const double drift = result_.makespan_s - accounted;
+  if (std::fabs(drift) >
+      1e-9 * std::fmax(1.0, result_.makespan_s) + 1e-6)
+    simulator_.auditor()->report(
+        "strategy", "makespan_decomposition", simulator_.now(),
+        "makespan " + std::to_string(result_.makespan_s) +
+            " s vs startup+iterations+overhead " + std::to_string(accounted) +
+            " s (drift " + std::to_string(drift) + " s)");
+  if (result_.iteration_times_s.size() != result_.iterations_completed)
+    simulator_.auditor()->report(
+        "strategy", "iteration_count_consistent", simulator_.now(),
+        std::to_string(result_.iterations_completed) +
+            " iterations completed but " +
+            std::to_string(result_.iteration_times_s.size()) +
+            " durations recorded");
 }
 
 }  // namespace simsweep::strategy

@@ -113,6 +113,7 @@ class IterativeExecution {
   void compute_done();
   void comm_done();
   void iteration_complete();
+  void audit_makespan();
 
   sim::Simulator& simulator_;
   platform::Cluster& cluster_;

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "audit/auditor.hpp"
 #include "strategy/decision_trace.hpp"
 
 namespace simsweep::strategy {
@@ -91,6 +92,11 @@ struct RunResult {
   /// Per-decision records (boundary planning rounds, recovery actions).
   /// Empty unless the run was launched with decision tracing enabled.
   std::vector<DecisionRecord> decision_trace;
+
+  /// Invariant violations collected while auditing in warn mode.  Always
+  /// empty when auditing is off (nothing is checked) or in fail mode (the
+  /// first violation throws audit::AuditFailure instead).
+  std::vector<audit::Violation> audit_report;
 };
 
 }  // namespace simsweep::strategy

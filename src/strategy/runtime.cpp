@@ -1,5 +1,6 @@
 #include "strategy/runtime.hpp"
 
+#include <string>
 #include <utility>
 
 namespace simsweep::strategy {
@@ -180,13 +181,27 @@ void TechniqueRuntime::begin_recovery() {
 }
 
 void TechniqueRuntime::charge_adaptation_pause() {
-  exec_->result().adaptation_overhead_s += now() - pause_start_;
+  exec_->result().adaptation_overhead_s += audited_pause("adaptation");
 }
 
 void TechniqueRuntime::charge_failure_pause() {
-  const double pause = now() - pause_start_;
+  const double pause = audited_pause("failure");
   exec_->result().adaptation_overhead_s += pause;
   exec_->result().failures.time_lost_s += pause;
+}
+
+/// The elapsed pause being charged; audited non-negative (a negative charge
+/// means begin_*_pause was never called for this charge, silently shrinking
+/// the overhead the figures report).
+double TechniqueRuntime::audited_pause(const char* kind) {
+  const double pause = now() - pause_start_;
+  audit::InvariantAuditor* auditor = exec_->simulator().auditor();
+  if (auditor != nullptr && auditor->enabled() && pause < -sim::kTimeEpsilon)
+    auditor->report("strategy", "non_negative_pause", now(),
+                    std::string(kind) + " pause of " + std::to_string(pause) +
+                        " s (pause clock started at t=" +
+                        std::to_string(pause_start_) + ")");
+  return pause;
 }
 
 void TechniqueRuntime::charge_recovery_pause() {

@@ -194,6 +194,7 @@ class TechniqueRuntime
  private:
   void on_boundary(std::function<void()> resume);
   void react_to_crash();
+  double audited_pause(const char* kind);
 
   IterativeExecution* exec_ = nullptr;
   std::unique_ptr<Remediation> remediation_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 
 #include "simcore/rng.hpp"
 
@@ -41,8 +42,10 @@ SwapContext::SwapContext(Comm& world, SwapConfig config)
   std::iota(rank_of_slot_.begin(), rank_of_slot_.end(), Rank{0});
   const bool active = world_.rank() < config_.active_count;
   role_ = Role{.active = active, .slot = active ? world_.rank() : -1};
-  if (world_.rank() == 0)
+  if (world_.rank() == 0) {
     history_.resize(static_cast<std::size_t>(world_.size()));
+    for (policy::PerfHistory& h : history_) h.attach_auditor(config_.auditor);
+  }
 }
 
 void SwapContext::register_state(void* data, std::size_t bytes) {
@@ -58,6 +61,9 @@ std::size_t SwapContext::state_bytes() const noexcept {
 }
 
 Role SwapContext::swap_point(double measured_iter_time_s) {
+  const bool auditing =
+      config_.auditor != nullptr && config_.auditor->enabled();
+  const std::size_t entry_state_bytes = auditing ? state_bytes() : 0;
   // 1. Every rank reports its probe + iteration time to the manager.
   const Report mine{config_.speed_probe(), measured_iter_time_s};
   std::vector<Report> reports;
@@ -92,7 +98,52 @@ Role SwapContext::swap_point(double measured_iter_time_s) {
   }
   last_events_ = std::move(applied);
   total_swaps_ += last_events_.size();
+  if (auditing) audit_swap_point(entry_state_bytes);
   return role_;
+}
+
+void SwapContext::audit_swap_point(std::size_t entry_state_bytes) const {
+  simsweep::audit::InvariantAuditor& auditor = *config_.auditor;
+  const double now = config_.clock();
+  // The slot→rank table must stay an injection into the world: one rank
+  // per slot, every rank valid.  A duplicate means two slots believe the
+  // same process hosts them; an out-of-range rank means a plan escaped the
+  // world.
+  std::vector<Rank> sorted = rank_of_slot_;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end())
+    auditor.report("swampi", "slot_table_is_permutation", now,
+                   "two slots map to the same world rank");
+  if (!sorted.empty() &&
+      (sorted.front() < 0 || sorted.back() >= world_.size()))
+    auditor.report("swampi", "slot_table_is_permutation", now,
+                   "slot table references a rank outside [0, " +
+                       std::to_string(world_.size()) + ")");
+  // This rank's role must agree with the shared table.
+  const auto it =
+      std::find(rank_of_slot_.begin(), rank_of_slot_.end(), world_.rank());
+  const bool hosted = it != rank_of_slot_.end();
+  if (role_.active != hosted)
+    auditor.report("swampi", "role_matches_slot_table", now,
+                   "rank " + std::to_string(world_.rank()) +
+                       (role_.active ? " claims active but hosts no slot"
+                                     : " hosts a slot but claims spare"));
+  else if (role_.active &&
+           (role_.slot < 0 ||
+            static_cast<std::size_t>(role_.slot) >= rank_of_slot_.size() ||
+            rank_of_slot_[static_cast<std::size_t>(role_.slot)] !=
+                world_.rank()))
+    auditor.report("swampi", "role_matches_slot_table", now,
+                   "rank " + std::to_string(world_.rank()) +
+                       " claims slot " + std::to_string(role_.slot) +
+                       " but the table disagrees");
+  // Registered state is moved, never resized, by a swap.
+  if (state_bytes() != entry_state_bytes)
+    auditor.report("swampi", "state_bytes_conserved", now,
+                   "registered state changed from " +
+                       std::to_string(entry_state_bytes) + " to " +
+                       std::to_string(state_bytes()) +
+                       " bytes across a swap point");
 }
 
 std::vector<SwapEvent> SwapContext::manager_plan(

@@ -22,6 +22,7 @@
 #include <functional>
 #include <vector>
 
+#include "audit/auditor.hpp"
 #include "swap/payback.hpp"
 #include "swap/perf_history.hpp"
 #include "swap/planner.hpp"
@@ -84,6 +85,14 @@ struct SwapConfig {
 
   /// Transfer-fault injection; disabled by default.
   FaultProfile faults;
+
+  /// Optional invariant auditor (may be shared between ranks — reporting
+  /// is mutex-protected).  When set, every swap_point checks that the
+  /// slot→rank table stays a valid partial permutation, that roles agree
+  /// with it, and that registered-state bytes are conserved across swaps;
+  /// the manager's perf histories are audited too.  Null disables all
+  /// checks.
+  simsweep::audit::InvariantAuditor* auditor = nullptr;
 };
 
 struct Role {
@@ -204,6 +213,10 @@ class SwapContext {
   /// rank must call it the same number of times in the same order.
   [[nodiscard]] bool fault_draw();
   void forward_messages(const std::vector<SwapEvent>& events);
+  /// Post-swap_point invariants: slot table is a partial permutation of
+  /// world ranks, this rank's role agrees with it, and the registered state
+  /// footprint did not change while state moved between ranks.
+  void audit_swap_point(std::size_t entry_state_bytes) const;
 
   Comm& world_;
   SwapConfig config_;

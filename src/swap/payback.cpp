@@ -13,8 +13,11 @@ double payback_distance(double swap_time_s, double old_iter_time_s,
     throw std::invalid_argument("payback_distance: iteration time must be positive");
   if (old_perf <= 0.0 || new_perf <= 0.0)
     throw std::invalid_argument("payback_distance: performance must be positive");
+  // No improvement (or an outright slowdown) never pays for the swap.  A
+  // negative "payback" here would sail under any payback <= threshold test,
+  // making the policy layer treat a slower host as an infinitely good deal.
   const double gain = 1.0 - old_perf / new_perf;
-  if (gain == 0.0) return std::numeric_limits<double>::infinity();
+  if (gain <= 0.0) return std::numeric_limits<double>::infinity();
   return swap_time_s / (old_iter_time_s * gain);
 }
 

@@ -3,9 +3,9 @@
 //   payback_distance = swap_time / (old_iter_time * (1 - old_perf/new_perf))
 //
 // the number of iterations, at the improved rate, needed for cumulative
-// progress to catch up with the no-swap trajectory.  Negative means the
-// "improvement" is actually a slowdown; larger positive values mean slower
-// amortization of the swap cost.
+// progress to catch up with the no-swap trajectory.  A candidate no faster
+// than the incumbent never catches up, so its distance is +infinity; larger
+// finite values mean slower amortization of the swap cost.
 #pragma once
 
 #include <limits>
@@ -19,8 +19,8 @@ namespace simsweep::swap {
 /// `old_perf`        — performance of the process on its current host.
 /// `new_perf`        — predicted performance on the candidate host.
 /// Any positive, increasing performance measure works (the paper suggests
-/// flop rate).  Returns +infinity when new_perf == old_perf (the cost is
-/// never recouped) and a negative value when new_perf < old_perf.
+/// flop rate).  Returns +infinity whenever new_perf <= old_perf: the swap
+/// cost is never recouped, so no finite threshold accepts it.
 [[nodiscard]] double payback_distance(double swap_time_s,
                                       double old_iter_time_s, double old_perf,
                                       double new_perf);

@@ -1,12 +1,28 @@
 #include "swap/perf_history.hpp"
 
+#include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace simsweep::swap {
 
 void PerfHistory::record(sim::SimTime t, double value) {
-  if (!samples_.empty() && t < samples_.back().time - sim::kTimeEpsilon)
-    throw std::invalid_argument("PerfHistory: samples must be time-ordered");
+  if (!samples_.empty()) {
+    const sim::SimTime tail = samples_.back().time;
+    if (t < tail - sim::kTimeEpsilon)
+      throw std::invalid_argument("PerfHistory: samples must be time-ordered");
+    // In-epsilon stragglers (clock jitter between subsystems) are treated
+    // as simultaneous with the tail, not stored behind it: an out-of-order
+    // pair would make windowed_mean integrate a negative interval and let
+    // prune_before drop the sample actually in effect.
+    if (t < tail) t = tail;
+  }
+  if (auditor_ != nullptr && auditor_->enabled() && !samples_.empty() &&
+      t < samples_.back().time)
+    auditor_->report("swap", "history_time_ordered", t,
+                     "sample at t=" + std::to_string(t) +
+                         " stored behind tail t=" +
+                         std::to_string(samples_.back().time));
   samples_.push_back(sim::Sample{t, value});
 }
 
@@ -16,9 +32,11 @@ double PerfHistory::windowed_mean(sim::SimTime now, double window_s,
   if (window_s <= 0.0) return samples_.back().value;
   const sim::SimTime t0 = now - window_s;
   if (samples_.front().time >= now) return samples_.front().value;
+  const bool auditing = auditor_ != nullptr && auditor_->enabled();
   // Step-series mean; before the first sample the series takes the first
   // sample's value (we have no older information).
   double area = 0.0;
+  double mass = 0.0;  // audited: the intervals must tile exactly [t0, now]
   double value = samples_.front().value;
   sim::SimTime cursor = t0;
   for (const sim::Sample& s : samples_) {
@@ -27,11 +45,31 @@ double PerfHistory::windowed_mean(sim::SimTime now, double window_s,
       continue;
     }
     if (s.time >= now) break;
-    area += value * (s.time - cursor);
+    const double interval = s.time - cursor;
+    if (auditing) {
+      if (interval < -sim::kTimeEpsilon)
+        auditor_->report("swap", "window_intervals_non_negative", now,
+                         "interval of " + std::to_string(interval) +
+                             " s at sample t=" + std::to_string(s.time));
+      mass += interval;
+    }
+    area += value * interval;
     cursor = s.time;
     value = s.value;
   }
   area += value * (now - cursor);
+  if (auditing) {
+    const double tail = now - cursor;
+    if (tail < -sim::kTimeEpsilon)
+      auditor_->report("swap", "window_intervals_non_negative", now,
+                       "tail interval of " + std::to_string(tail) + " s");
+    mass += tail;
+    if (std::fabs(mass - window_s) > 1e-9 * std::fmax(1.0, window_s))
+      auditor_->report("swap", "window_mass_equals_window", now,
+                       "integrated " + std::to_string(mass) +
+                           " s over a window of " + std::to_string(window_s) +
+                           " s");
+  }
   return area / window_s;
 }
 

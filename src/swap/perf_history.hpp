@@ -10,6 +10,7 @@
 
 #include <deque>
 
+#include "audit/auditor.hpp"
 #include "simcore/trace_recorder.hpp"
 
 namespace simsweep::swap {
@@ -17,7 +18,11 @@ namespace simsweep::swap {
 class PerfHistory {
  public:
   /// Records that the measured performance became `value` at time `t`.
-  /// Times must be non-decreasing.
+  /// Times must be non-decreasing; a timestamp within kTimeEpsilon *before*
+  /// the tail (clock jitter between subsystems) is clamped to the tail time
+  /// so the stored series is genuinely ordered — windowed_mean must never
+  /// integrate a negative interval and prune_before must never strand the
+  /// wrong sample.
   void record(sim::SimTime t, double value);
 
   /// Time-weighted mean over [now - window, now]; the latest sample when
@@ -36,8 +41,16 @@ class PerfHistory {
   /// the horizon, since step semantics need the preceding value).
   void prune_before(sim::SimTime horizon);
 
+  /// Attaches (or detaches, with nullptr) the invariant auditor: record()
+  /// checks sample ordering and windowed_mean() checks that its interval
+  /// walk is non-negative and covers exactly the queried window.
+  void attach_auditor(audit::InvariantAuditor* auditor) noexcept {
+    auditor_ = auditor;
+  }
+
  private:
   std::deque<sim::Sample> samples_;
+  audit::InvariantAuditor* auditor_ = nullptr;
 };
 
 }  // namespace simsweep::swap

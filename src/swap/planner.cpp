@@ -110,12 +110,15 @@ SwapPlan evaluate_swaps(const PolicyParams& policy,
     const double new_iter_time = predict_iteration_time(after, ctx.comm_time_s);
     eval.app_gain = current_iter_time / new_iter_time - 1.0;
 
+    // A candidate no faster than the incumbent now carries an infinite
+    // payback distance (payback_distance returns +inf for gain <= 0), but
+    // the policy rejection it reports is "no faster spare" — the specific
+    // no-improvement reason — not a payback-threshold artifact.
     if (candidate.est_speed <= slowest->est_speed)
       eval.rejection = RejectReason::kNoFasterSpare;
     else if (eval.process_gain < policy.min_process_improvement)
       eval.rejection = RejectReason::kProcessGain;
-    else if (eval.payback_iters < 0.0 ||
-             eval.payback_iters > policy.payback_threshold_iters)
+    else if (eval.payback_iters > policy.payback_threshold_iters)
       eval.rejection = RejectReason::kPayback;
     else if (eval.app_gain < policy.min_app_improvement)
       eval.rejection = RejectReason::kAppGain;

@@ -122,11 +122,13 @@ inline std::unique_ptr<strat::Strategy> make_technique(
   throw std::invalid_argument("golden: unknown technique " + technique);
 }
 
-inline strat::RunResult run_cell(const std::string& scenario,
-                                 const std::string& technique,
-                                 std::uint64_t seed) {
+inline strat::RunResult run_cell(
+    const std::string& scenario, const std::string& technique,
+    std::uint64_t seed,
+    simsweep::audit::AuditMode audit = simsweep::audit::AuditMode::kOff) {
   auto cfg = config_for(scenario);
   cfg.seed = seed;
+  cfg.audit = audit;
   const auto model = model_for(scenario);
   const auto strategy = make_technique(technique);
   return core::run_single(cfg, *model, *strategy);

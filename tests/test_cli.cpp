@@ -88,6 +88,20 @@ TEST(ConfigBuild, FlagsOverrideAndValidate) {
   EXPECT_THROW((void)cli::build_config(bad), std::invalid_argument);
 }
 
+TEST(ConfigBuild, AuditFlagSelectsMode) {
+  namespace audit = simsweep::audit;
+  cli::Args off({});
+  EXPECT_EQ(cli::build_config(off).audit, audit::AuditMode::kOff);
+  cli::Args bare({"--audit"});  // bare flag means fail-fast
+  EXPECT_EQ(cli::build_config(bare).audit, audit::AuditMode::kFail);
+  cli::Args warn({"--audit=warn"});
+  EXPECT_EQ(cli::build_config(warn).audit, audit::AuditMode::kWarn);
+  cli::Args fail({"--audit=fail"});
+  EXPECT_EQ(cli::build_config(fail).audit, audit::AuditMode::kFail);
+  cli::Args bad({"--audit=loud"});
+  EXPECT_THROW((void)cli::build_config(bad), std::invalid_argument);
+}
+
 TEST(ConfigBuild, LoadModels) {
   cli::Args onoff({"--model=onoff", "--dynamism=0.3"});
   const auto m1 = cli::build_load_model(onoff);

@@ -305,6 +305,7 @@ TEST(TrialStats, PrintsJson) {
   stats.mean_recoveries = 1.25;
   stats.mean_checkpoint_failures = 0.5;
   stats.mean_time_lost_s = 42;
+  stats.audit_violations = 2;
   std::ostringstream os;
   stats.print_json(os);
   EXPECT_EQ(os.str(),
@@ -313,7 +314,7 @@ TEST(TrialStats, PrintsJson) {
             "\"resource_exhausted\":1,\"mean_adaptations\":2.5,"
             "\"mean_crashes\":1.5,\"mean_transfer_failures\":3,"
             "\"mean_recoveries\":1.25,\"mean_checkpoint_failures\":0.5,"
-            "\"mean_time_lost_s\":42}");
+            "\"mean_time_lost_s\":42,\"audit_violations\":2}");
 }
 
 TEST(SeriesReport, PrintsJson) {

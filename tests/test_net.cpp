@@ -120,6 +120,47 @@ TEST(SharedLink, LatencyPhaseDoesNotConsumeBandwidth) {
   EXPECT_DOUBLE_EQ(b, 3.5);
 }
 
+TEST(SharedLink, CancelFromCompletionCallbackIsSafe) {
+  // A flow's completion callback cancelling a sibling re-enters the
+  // network's resharing machinery mid-update; the deferred-reshare guard
+  // must fold the nested pass in without corrupting any flow's accrual.
+  sim::Simulator s;
+  net::SharedLinkNetwork n(s, link(0.0, 100.0));
+  double a = -1.0;
+  bool b_fired = false;
+  std::shared_ptr<net::Flow> f2;
+  auto f1 = n.start_transfer(50.0, [&] {
+    a = s.now();
+    f2->cancel();
+  });
+  f2 = n.start_transfer(1000.0, [&] { b_fired = true; });
+  s.run();
+  EXPECT_DOUBLE_EQ(a, 1.0);  // 50 B at 50 B/s shared
+  EXPECT_FALSE(b_fired);
+}
+
+TEST(SharedLink, StartFromCompletionCallbackIsSafe) {
+  // Starting a new transfer from inside a completion callback (and
+  // cancelling another) exercises admit + cancel re-entering reshare.
+  sim::Simulator s;
+  net::SharedLinkNetwork n(s, link(0.0, 100.0));
+  double a = -1.0, c = -1.0;
+  bool b_fired = false;
+  std::shared_ptr<net::Flow> f2, f3;
+  auto f1 = n.start_transfer(50.0, [&] {
+    a = s.now();
+    f2->cancel();
+    f3 = n.start_transfer(100.0, [&] { c = s.now(); });
+  });
+  f2 = n.start_transfer(1000.0, [&] { b_fired = true; });
+  s.run();
+  // f1 and f2 share 50 B/s; f1's 50 B complete at t=1, f2 dies there, and
+  // f3 then owns the whole link: 100 B at 100 B/s -> t=2 exactly.
+  EXPECT_DOUBLE_EQ(a, 1.0);
+  EXPECT_DOUBLE_EQ(c, 2.0);
+  EXPECT_FALSE(b_fired);
+}
+
 TEST(SharedLink, RejectsInvalidParameters) {
   sim::Simulator s;
   EXPECT_THROW(net::SharedLinkNetwork(s, link(0.0, 0.0)),

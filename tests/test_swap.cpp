@@ -25,12 +25,28 @@ TEST(Payback, PaperWorkedExampleQuadruplePerformance) {
   EXPECT_NEAR(swp::payback_distance(10.0, 10.0, 1.0, 4.0), 4.0 / 3.0, 1e-12);
 }
 
-TEST(Payback, NegativeWhenPerformanceDrops) {
-  EXPECT_LT(swp::payback_distance(10.0, 10.0, 2.0, 1.0), 0.0);
+TEST(Payback, InfiniteWhenPerformanceDrops) {
+  // A swap onto a slower host never pays for itself.  A negative distance
+  // here would sail under any finite threshold (payback <= threshold) and
+  // green-light exactly the swaps the policy exists to block.
+  const double d = swp::payback_distance(10.0, 10.0, 2.0, 1.0);
+  EXPECT_TRUE(std::isinf(d));
+  EXPECT_GT(d, 0.0);
 }
 
 TEST(Payback, InfiniteWhenNoChange) {
   EXPECT_TRUE(std::isinf(swp::payback_distance(10.0, 10.0, 3.0, 3.0)));
+}
+
+TEST(Payback, ThresholdBoundaryBothSides) {
+  // Just above equal performance: finite (and huge); at or below: +inf.
+  const double barely_faster = swp::payback_distance(10.0, 10.0, 1.0, 1.0 + 1e-9);
+  EXPECT_TRUE(std::isfinite(barely_faster));
+  EXPECT_GT(barely_faster, 1e6);
+  EXPECT_TRUE(std::isinf(swp::payback_distance(10.0, 10.0, 1.0, 1.0)));
+  EXPECT_TRUE(std::isinf(swp::payback_distance(10.0, 10.0, 1.0, 1.0 - 1e-9)));
+  // No finite threshold accepts a non-improving swap.
+  EXPECT_FALSE(swp::payback_distance(10.0, 10.0, 1.0, 0.5) <= 1e12);
 }
 
 TEST(Payback, GreaterGainMeansSmallerPayback) {
@@ -86,7 +102,7 @@ TEST_P(PaybackProperty, PositiveIffImprovementAndMonotoneInGain) {
     EXPECT_GT(p1, p2);  // bigger gain, smaller payback
     const double drop =
         swp::payback_distance(swap_time, iter_time, old_perf, old_perf * 0.5);
-    EXPECT_LT(drop, 0.0);
+    EXPECT_TRUE(std::isinf(drop) && drop > 0.0);
   }
 }
 
@@ -135,6 +151,24 @@ TEST(PerfHistory, RejectsOutOfOrderSamples) {
   swp::PerfHistory h;
   h.record(5.0, 1.0);
   EXPECT_THROW(h.record(1.0, 2.0), std::invalid_argument);
+}
+
+TEST(PerfHistory, ClampsInEpsilonEarlySampleToTail) {
+  // Clock jitter between subsystems can hand record() a timestamp a hair
+  // before the tail.  It must be stored AT the tail, not behind it: an
+  // out-of-order pair would make windowed_mean integrate a negative
+  // interval and could strand the wrong sample in prune_before.
+  swp::PerfHistory h;
+  h.record(5.0, 1.0);
+  h.record(5.0 - 0.5e-9, 2.0);  // within kTimeEpsilon of the tail
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_DOUBLE_EQ(h.latest(), 2.0);
+  // Window [4, 6]: 1 s of 1.0, then 1 s of 2.0 — the jittered sample
+  // contributes from t=5.0 exactly, never a negative slice.
+  EXPECT_DOUBLE_EQ(h.windowed_mean(6.0, 2.0), 1.5);
+  // Pruning at the clamped time keeps the value in effect.
+  h.prune_before(5.0);
+  EXPECT_DOUBLE_EQ(h.latest(), 2.0);
 }
 
 TEST(PerfHistory, WindowStraddlingFirstSampleBackfills) {
