@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Sanity-check simsweep observability artifacts.
+
+Usage:
+    check_obs_json.py metrics  FILE   # --metrics snapshot
+    check_obs_json.py timeline FILE   # --timeline Chrome trace
+    check_obs_json.py profile  FILE   # captured --profile output
+
+Validates structure, not values: every artifact must parse, carry the shared
+provenance block, and obey its schema (histogram counts arrays one longer
+than their bounds, trace events restricted to known phases, and so on).
+Exits non-zero with a one-line diagnosis on the first violation, so CI can
+gate on it directly.
+"""
+
+import json
+import sys
+
+PROVENANCE_KEYS = {"version", "build_type", "seed", "config_digest"}
+
+
+class CheckFailed(Exception):
+    pass
+
+
+def require(cond, message):
+    if not cond:
+        raise CheckFailed(message)
+
+
+def check_provenance(meta, where):
+    require(isinstance(meta, dict), f"{where}: meta is not an object")
+    require(
+        set(meta) == PROVENANCE_KEYS,
+        f"{where}: meta keys {sorted(meta)} != {sorted(PROVENANCE_KEYS)}",
+    )
+    require(isinstance(meta["version"], str) and meta["version"],
+            f"{where}: meta.version must be a non-empty string")
+    require(isinstance(meta["build_type"], str),
+            f"{where}: meta.build_type must be a string")
+    require(isinstance(meta["seed"], int) and meta["seed"] >= 0,
+            f"{where}: meta.seed must be a non-negative integer")
+    digest = meta["config_digest"]
+    require(
+        isinstance(digest, str) and len(digest) == 16
+        and all(c in "0123456789abcdef" for c in digest),
+        f"{where}: meta.config_digest must be 16 lowercase hex chars",
+    )
+
+
+def check_metrics(doc):
+    require(isinstance(doc, dict), "metrics: top level is not an object")
+    require(
+        list(doc) == ["meta", "counters", "gauges", "histograms"],
+        f"metrics: top-level keys {list(doc)} != "
+        "['meta', 'counters', 'gauges', 'histograms']",
+    )
+    check_provenance(doc["meta"], "metrics")
+
+    counters = doc["counters"]
+    require(isinstance(counters, dict), "metrics: counters is not an object")
+    for name, value in counters.items():
+        require(isinstance(value, int) and value >= 0,
+                f"metrics: counter {name!r} is not a non-negative integer")
+
+    gauges = doc["gauges"]
+    require(isinstance(gauges, dict), "metrics: gauges is not an object")
+    for name, gauge in gauges.items():
+        require(
+            isinstance(gauge, dict) and set(gauge) == {"last", "min", "max"},
+            f"metrics: gauge {name!r} must have exactly last/min/max",
+        )
+        require(gauge["min"] <= gauge["max"],
+                f"metrics: gauge {name!r} has min > max")
+        require(gauge["min"] <= gauge["last"] <= gauge["max"],
+                f"metrics: gauge {name!r} last outside [min, max]")
+
+    histograms = doc["histograms"]
+    require(isinstance(histograms, dict), "metrics: histograms is not an object")
+    expected = {"count", "sum", "min", "max", "bounds", "counts"}
+    for name, hist in histograms.items():
+        require(isinstance(hist, dict) and set(hist) == expected,
+                f"metrics: histogram {name!r} keys != {sorted(expected)}")
+        bounds, counts = hist["bounds"], hist["counts"]
+        require(bounds == sorted(bounds),
+                f"metrics: histogram {name!r} bounds not sorted")
+        require(
+            len(counts) == len(bounds) + 1,
+            f"metrics: histogram {name!r} has {len(counts)} counts for "
+            f"{len(bounds)} bounds (want bounds+1, overflow bucket last)",
+        )
+        require(all(isinstance(c, int) and c >= 0 for c in counts),
+                f"metrics: histogram {name!r} has a negative bucket count")
+        require(sum(counts) == hist["count"],
+                f"metrics: histogram {name!r} bucket counts do not sum to count")
+        if hist["count"] > 0:
+            require(hist["min"] <= hist["max"],
+                    f"metrics: histogram {name!r} has min > max")
+
+    for section, sorted_keys in (("counters", counters), ("gauges", gauges),
+                                 ("histograms", histograms)):
+        keys = list(sorted_keys)
+        require(keys == sorted(keys), f"metrics: {section} keys not sorted")
+
+
+def check_timeline(doc):
+    require(isinstance(doc, dict), "timeline: top level is not an object")
+    require(doc.get("displayTimeUnit") == "ms",
+            "timeline: displayTimeUnit != 'ms'")
+    other = doc.get("otherData")
+    require(isinstance(other, dict) and "meta" in other,
+            "timeline: otherData.meta missing")
+    check_provenance(other["meta"], "timeline")
+
+    events = doc.get("traceEvents")
+    require(isinstance(events, list) and events,
+            "timeline: traceEvents missing or empty")
+    named_pids = set()
+    phases = {"M": 0, "X": 0, "i": 0}
+    for i, ev in enumerate(events):
+        where = f"timeline: traceEvents[{i}]"
+        require(isinstance(ev, dict), f"{where} is not an object")
+        ph = ev.get("ph")
+        require(ph in phases, f"{where} has unknown phase {ph!r}")
+        phases[ph] += 1
+        require(isinstance(ev.get("pid"), int) and ev["pid"] >= 1,
+                f"{where} pid must be an integer >= 1")
+        if ph == "M":
+            require(ev.get("name") in ("process_name", "thread_name"),
+                    f"{where} metadata name {ev.get('name')!r}")
+            if ev.get("name") == "process_name":
+                named_pids.add(ev["pid"])
+        else:
+            require(isinstance(ev.get("name"), str) and ev["name"],
+                    f"{where} name must be a non-empty string")
+            require(isinstance(ev.get("ts"), (int, float)) and ev["ts"] >= 0,
+                    f"{where} ts must be a non-negative number")
+            if ph == "X":
+                require(
+                    isinstance(ev.get("dur"), (int, float)) and ev["dur"] >= 0,
+                    f"{where} dur must be a non-negative number",
+                )
+    pids = {ev["pid"] for ev in events}
+    require(pids <= named_pids,
+            f"timeline: pids {sorted(pids - named_pids)} have no process_name")
+    require(phases["M"] > 0, "timeline: no metadata events")
+    require(phases["X"] + phases["i"] > 0, "timeline: no span/instant events")
+
+
+def check_profile(text):
+    lines = [ln for ln in text.splitlines() if ln.startswith("profile:")]
+    require(lines, "profile: no 'profile:' lines found")
+    require(any("trials in" in ln and "s wall" in ln for ln in lines),
+            "profile: missing wall-clock summary line")
+    require(any("trial duration" in ln for ln in lines),
+            "profile: missing trial duration line")
+    require(any("queue wait" in ln for ln in lines),
+            "profile: missing queue wait line")
+    workers = [ln for ln in lines if "utilization" in ln]
+    require(workers, "profile: missing per-worker utilization lines")
+    for ln in workers:
+        pct = float(ln.rsplit("utilization", 1)[1].strip().rstrip("%"))
+        require(0.0 <= pct <= 100.0,
+                f"profile: utilization {pct}% outside [0, 100]")
+
+
+def main(argv):
+    if len(argv) != 3 or argv[1] not in ("metrics", "timeline", "profile"):
+        sys.stderr.write(__doc__)
+        return 2
+    kind, path = argv[1], argv[2]
+    with open(path, encoding="utf-8") as fh:
+        raw = fh.read()
+    try:
+        if kind == "profile":
+            check_profile(raw)
+        else:
+            doc = json.loads(raw)
+            (check_metrics if kind == "metrics" else check_timeline)(doc)
+    except CheckFailed as err:
+        print(f"check_obs_json: FAIL ({path}): {err}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as err:
+        print(f"check_obs_json: FAIL ({path}): invalid JSON: {err}",
+              file=sys.stderr)
+        return 1
+    print(f"check_obs_json: OK ({kind}: {path})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

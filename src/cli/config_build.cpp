@@ -1,5 +1,6 @@
 #include "cli/config_build.hpp"
 
+#include <cstdlib>
 #include <stdexcept>
 
 #include "audit/auditor.hpp"
@@ -163,6 +164,25 @@ std::unique_ptr<strategy::Strategy> build_strategy(Args& args) {
   }
   throw std::invalid_argument("unknown --strategy '" + name +
                               "' (none|swap|dlb|dlbswap|cr)");
+}
+
+ObsOptions parse_obs_options(Args& args, const char* metrics_env,
+                             const char* timeline_env) {
+  ObsOptions opts;
+  // Flags win over the environment; an env var set to "" counts as unset.
+  opts.metrics_path = args.get_string("metrics", "");
+  if (opts.metrics_path.empty() && metrics_env != nullptr)
+    opts.metrics_path = metrics_env;
+  opts.timeline_path = args.get_string("timeline", "");
+  if (opts.timeline_path.empty() && timeline_env != nullptr)
+    opts.timeline_path = timeline_env;
+  opts.profile = args.get_bool("profile");
+  return opts;
+}
+
+ObsOptions parse_obs_options(Args& args) {
+  return parse_obs_options(args, std::getenv("SIMSWEEP_METRICS"),
+                           std::getenv("SIMSWEEP_TIMELINE"));
 }
 
 void reject_unused(const Args& args) {

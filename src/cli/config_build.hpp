@@ -27,6 +27,29 @@ namespace simsweep::cli {
 /// --guard, --predictor=window|nws|ewma|median.
 [[nodiscard]] std::unique_ptr<strategy::Strategy> build_strategy(Args& args);
 
+/// Observability outputs requested on the command line.
+struct ObsOptions {
+  std::string metrics_path;   ///< merged metrics JSON; empty = off
+  std::string timeline_path;  ///< Chrome trace JSON; empty = off
+  bool profile = false;       ///< print the trial-engine profile
+
+  [[nodiscard]] bool any() const noexcept {
+    return !metrics_path.empty() || !timeline_path.empty() || profile;
+  }
+};
+
+/// Flags: --metrics=FILE --timeline=FILE --profile.  When a flag is absent
+/// the corresponding env value applies instead (pass the raw getenv result;
+/// null or empty means unset), so whole suites can be observed without
+/// editing command lines.
+[[nodiscard]] ObsOptions parse_obs_options(Args& args,
+                                           const char* metrics_env,
+                                           const char* timeline_env);
+
+/// parse_obs_options with SIMSWEEP_METRICS / SIMSWEEP_TIMELINE from the
+/// process environment.
+[[nodiscard]] ObsOptions parse_obs_options(Args& args);
+
 /// Throws std::invalid_argument listing any unconsumed flags.
 void reject_unused(const Args& args);
 

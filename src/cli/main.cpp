@@ -17,6 +17,9 @@
 #include "cli/config_build.hpp"
 #include "core/trial_runner.hpp"
 #include "load/onoff.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/timeline.hpp"
 #include "platform/host.hpp"
 #include "simcore/simulator.hpp"
 #include "strategy/decision_trace.hpp"
@@ -56,6 +59,19 @@ execution/output flags (run, sweep):
              makespans are bitwise identical with auditing on or off.  The
              SIMSWEEP_AUDIT env var applies the same modes suite-wide.
 
+observability flags (run; --profile also: sweep):
+  --metrics=FILE   write a merged metrics snapshot (counters, gauges,
+             histograms from every simulation layer) as JSON; identical at
+             any --jobs, and makespans are unchanged.  Env fallback:
+             SIMSWEEP_METRICS.
+  --timeline=FILE  write a Chrome trace-event JSON timeline (load in
+             https://ui.perfetto.dev): one process per trial, one track per
+             host/subsystem, virtual seconds as trace microseconds.  Env
+             fallback: SIMSWEEP_TIMELINE.
+  --profile  measure the trial engine itself (wall-clock): per-trial
+             duration, queue wait, per-worker utilization.  Printed after
+             the results (stderr under --json).
+
 load model flags (run, trace):
   --model=onoff   --dynamism=0.2 | --p=0.3 --q=0.08 [--step=100]
   --model=hyperexp --lifetime=300 [--long-prob=0.2] [--interarrival=600]
@@ -92,37 +108,73 @@ std::size_t get_count(cli::Args& args, const std::string& flag,
   return static_cast<std::size_t>(v);
 }
 
+/// Opens `path` for writing or throws with the flag name that asked for it.
+std::ofstream open_output(const std::string& path, const char* flag) {
+  std::ofstream out(path);
+  if (!out)
+    throw std::runtime_error(std::string("cannot open --") + flag +
+                             " file '" + path + "'");
+  return out;
+}
+
 int cmd_run(cli::Args& args) {
   const auto trials = get_count(args, "trials", 8);
   const auto jobs = get_count(args, "jobs", 0);
   const bool json = args.get_bool("json");
   const std::string trace_path = args.get_string("trace-decisions", "");
+  const auto obs_opts = cli::parse_obs_options(args);
   auto cfg = cli::build_config(args);
   const auto model = cli::build_load_model(args);
   auto strategy = cli::build_strategy(args);
   cli::reject_unused(args);
+  cfg.obs.metrics = !obs_opts.metrics_path.empty();
+  cfg.obs.timeline = !obs_opts.timeline_path.empty();
+  const simsweep::obs::Provenance prov = core::make_run_provenance(
+      cfg, model->describe() + ";" + strategy->name());
 
   core::TrialStats stats;
-  if (trace_path.empty()) {
+  simsweep::obs::TrialProfiler profiler;
+  const bool need_results = !trace_path.empty() || cfg.obs.any();
+  if (!need_results && !obs_opts.profile) {
     stats = core::run_trials_parallel(cfg, *model, *strategy, trials, jobs);
   } else {
-    // Tracing never touches the simulation, so stats match the plain path
-    // bitwise; the per-trial results additionally carry the decision trace.
-    cfg.trace_decisions = true;
+    // Tracing and observability never touch the simulation, so stats match
+    // the plain path bitwise; the per-trial results additionally carry the
+    // decision traces / metrics registries / timeline tracers.
+    cfg.trace_decisions = !trace_path.empty();
     const auto results =
-        core::run_trials_results(cfg, *model, *strategy, trials, jobs);
-    std::ofstream out(trace_path);
-    if (!out)
-      throw std::runtime_error("cannot open --trace-decisions file '" +
-                               trace_path + "'");
-    for (std::size_t t = 0; t < results.size(); ++t)
-      strat::write_trace_jsonl(out, strategy->name(), cfg.seed + t, t,
-                               results[t].decision_trace);
+        core::run_trials_results(cfg, *model, *strategy, trials, jobs,
+                                 obs_opts.profile ? &profiler : nullptr);
+    if (!trace_path.empty()) {
+      auto out = open_output(trace_path, "trace-decisions");
+      for (std::size_t t = 0; t < results.size(); ++t)
+        strat::write_trace_jsonl(out, strategy->name(), cfg.seed + t, t,
+                                 results[t].decision_trace);
+    }
+    if (cfg.obs.metrics) {
+      const auto merged = core::merge_trial_metrics(results);
+      auto out = open_output(obs_opts.metrics_path, "metrics");
+      merged->write_json(out, &prov);
+      out << '\n';
+    }
+    if (cfg.obs.timeline) {
+      std::vector<simsweep::obs::TimelineTracer::Process> processes;
+      for (std::size_t t = 0; t < results.size(); ++t)
+        if (results[t].timeline)
+          processes.push_back(
+              {"trial " + std::to_string(t), results[t].timeline.get()});
+      auto out = open_output(obs_opts.timeline_path, "timeline");
+      simsweep::obs::TimelineTracer::write_chrome_json(out, processes, &prov);
+      out << '\n';
+    }
     stats = core::reduce_trials(results);
   }
   if (json) {
-    stats.print_json(std::cout);
+    stats.print_json(std::cout, &prov);
     std::cout << '\n';
+    // The profile goes to stderr under --json so stdout stays one
+    // parseable JSON document.
+    if (obs_opts.profile) profiler.print(std::cerr);
     return 0;
   }
   std::printf("strategy        %s\n", strategy->name().c_str());
@@ -154,6 +206,7 @@ int cmd_run(cli::Args& args) {
   if (stats.unfinished > stats.stalled)
     std::printf("WARNING: %zu run(s) hit the simulation horizon\n",
                 stats.unfinished - stats.stalled);
+  if (obs_opts.profile) profiler.print(std::cout);
   return 0;
 }
 
@@ -161,6 +214,7 @@ int cmd_sweep(cli::Args& args) {
   const auto trials = get_count(args, "trials", 8);
   const auto jobs = get_count(args, "jobs", 0);
   const bool json = args.get_bool("json");
+  const bool profile = args.get_bool("profile");
   auto cfg = cli::build_config(args);
   const std::vector<double> points = args.get_double_list(
       "points", {0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.8, 1.0});
@@ -179,9 +233,25 @@ int cmd_sweep(cli::Args& args) {
       std::make_unique<strat::CrStrategy>(simsweep::swap::greedy_policy()));
   for (const auto& s : lineup) report.series.push_back({s->name(), {}, {}});
 
+  // The sweep's shape inputs beyond the config: the dynamism grid (each
+  // point becomes an ON/OFF model) and the strategy lineup.
+  std::string extra = "sweep;model=onoff;points=";
+  for (const double x : points) {
+    extra += simsweep::load::describe_number(x);
+    extra += ',';
+  }
+  extra += ";strategies=";
+  for (const auto& s : lineup) {
+    extra += s->name();
+    extra += '|';
+  }
+  const simsweep::obs::Provenance prov = core::make_run_provenance(cfg, extra);
+
   // Whole sweep cells (point × strategy) fan out over the pool; each cell
   // writes to a fixed index, so the report is order-independent.
   core::TrialRunner runner(jobs);
+  simsweep::obs::TrialProfiler profiler;
+  if (profile) runner.set_profiler(&profiler);
   std::vector<std::vector<core::TrialStats>> grid(
       points.size(), std::vector<core::TrialStats>(lineup.size()));
   runner.parallel_for(
@@ -199,13 +269,15 @@ int cmd_sweep(cli::Args& args) {
     }
   }
   if (json) {
-    report.print_json(std::cout);
+    report.print_json(std::cout, &prov);
     std::cout << '\n';
+    if (profile) profiler.print(std::cerr);
     return 0;
   }
   report.print_table(std::cout);
   std::cout << "\n";
   report.print_csv(std::cout);
+  if (profile) profiler.print(std::cout);
   return 0;
 }
 

@@ -13,6 +13,7 @@
 
 #include "core/trial_runner.hpp"
 #include "net/shared_link.hpp"
+#include "obs/timeline.hpp"
 #include "simcore/simulator.hpp"
 
 namespace simsweep::core {
@@ -68,7 +69,68 @@ void audit_run_result(audit::InvariantAuditor& auditor,
                        std::to_string(config.app.iterations) + " iterations");
 }
 
+/// Appends one digest field: shortest round-trip decimal for doubles, so
+/// the digest is a pure function of the value, not of stream formatting.
+void digest_field(std::string& out, double value) {
+  char buffer[32];
+  const auto result = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  out.append(buffer, result.ptr);
+  out.push_back(';');
+}
+
+void digest_field(std::string& out, std::uint64_t value) {
+  out += std::to_string(value);
+  out.push_back(';');
+}
+
 }  // namespace
+
+std::string config_digest(const ExperimentConfig& config,
+                          std::string_view extra) {
+  // Every field that shapes the simulation, in a fixed order.  The seed is
+  // excluded (provenance reports it separately) and so are the read-only
+  // switches (trace_decisions, audit, obs): runs are bitwise identical with
+  // or without them, which is exactly what the digest asserts.  `extra`
+  // carries the shape inputs that live outside ExperimentConfig — the load
+  // model and strategy descriptors.
+  std::string blob;
+  blob.reserve(256);
+  const platform::ClusterSpec& cl = config.cluster;
+  digest_field(blob, cl.min_speed_flops);
+  digest_field(blob, cl.max_speed_flops);
+  digest_field(blob, static_cast<std::uint64_t>(cl.explicit_speeds.size()));
+  for (const double s : cl.explicit_speeds) digest_field(blob, s);
+  digest_field(blob, static_cast<std::uint64_t>(cl.host_count));
+  digest_field(blob, cl.link.latency_s);
+  digest_field(blob, cl.link.bandwidth_Bps);
+  digest_field(blob, cl.startup_per_process_s);
+  const app::AppSpec& ap = config.app;
+  digest_field(blob, static_cast<std::uint64_t>(ap.active_processes));
+  digest_field(blob, static_cast<std::uint64_t>(ap.iterations));
+  digest_field(blob, ap.work_per_iteration_flops);
+  digest_field(blob, ap.comm_bytes_per_process);
+  digest_field(blob, ap.state_bytes_per_process);
+  digest_field(blob, static_cast<std::uint64_t>(config.spare_count));
+  digest_field(blob,
+               static_cast<std::uint64_t>(config.initial_schedule));
+  digest_field(blob, config.horizon_s);
+  const fault::FaultSpec& fs = config.faults;
+  digest_field(blob, fs.host_mtbf_s);
+  digest_field(blob, fs.swap_fail_prob);
+  digest_field(blob, fs.checkpoint_fail_prob);
+  digest_field(blob, static_cast<std::uint64_t>(fs.max_transfer_retries));
+  digest_field(blob, fs.retry_backoff_s);
+  digest_field(blob, fs.retry_backoff_cap_s);
+  digest_field(blob, static_cast<std::uint64_t>(fs.blacklist_after));
+  digest_field(blob, config.max_events);
+  blob.append(extra);
+  return obs::hex64(obs::fnv1a(blob));
+}
+
+obs::Provenance make_run_provenance(const ExperimentConfig& config,
+                                    std::string_view extra) {
+  return obs::make_provenance(config.seed, config_digest(config, extra));
+}
 
 strategy::RunResult run_single(const ExperimentConfig& config,
                                const load::LoadModel& model,
@@ -85,6 +147,20 @@ strategy::RunResult run_single(const ExperimentConfig& config,
   sim::Simulator simulator;
   if (auditor.enabled()) simulator.set_auditor(&auditor);
   simulator.set_event_budget(config.max_events);
+  // Observability collectors attach before any subsystem is built so every
+  // instrumentation site sees them from the first event.  Like the auditor
+  // they only read simulation state: an observed run is bitwise identical
+  // to a plain one.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+  std::shared_ptr<obs::TimelineTracer> timeline;
+  if (config.obs.metrics) {
+    metrics = std::make_shared<obs::MetricsRegistry>();
+    simulator.set_metrics(metrics.get());
+  }
+  if (config.obs.timeline) {
+    timeline = std::make_shared<obs::TimelineTracer>();
+    simulator.set_timeline(timeline.get());
+  }
   sim::Rng platform_rng(config.seed, /*stream=*/0);
   platform::Cluster cluster(simulator, config.cluster, platform_rng);
   // Load sources set their initial state synchronously here, before the
@@ -138,6 +214,30 @@ strategy::RunResult run_single(const ExperimentConfig& config,
     audit_run_result(auditor, config, simulator.now(), result);
     result.audit_report = auditor.take_violations();
   }
+  if (metrics) {
+    // Run-level summary metrics, recorded once at the end so they reflect
+    // the assembled result (post-horizon/stall fixups included).
+    metrics->add("sim.events_fired", simulator.events_fired());
+    if (simulator.queue_depth_samples() != 0) {
+      metrics->set_gauge("sim.queue_depth_mean",
+                         simulator.queue_depth_mean());
+      metrics->set_gauge(
+          "sim.queue_depth_max",
+          static_cast<double>(simulator.queue_depth_max()));
+    }
+    if (config.max_events != 0)
+      metrics->set_gauge("sim.event_budget_headroom",
+                         static_cast<double>(config.max_events -
+                                             simulator.events_fired()));
+    metrics->set_gauge("run.makespan_s", result.makespan_s);
+    metrics->add("run.iterations_completed", result.iterations_completed);
+    metrics->add("run.adaptations", result.adaptations);
+    metrics->add("run.trials");
+    if (result.finished) metrics->add("run.finished");
+    if (result.stalled) metrics->add("run.stalled");
+  }
+  result.metrics = std::move(metrics);
+  result.timeline = std::move(timeline);
   return result;
 }
 
@@ -187,20 +287,48 @@ TrialStats reduce_trials(const std::vector<strategy::RunResult>& results) {
 
 namespace {
 
+/// Attaches a profiler to a runner for one scope; detaches on exit even
+/// when a trial throws (the shared() runner outlives any one experiment).
+class ProfilerAttachment {
+ public:
+  ProfilerAttachment(TrialRunner* runner, obs::TrialProfiler* profiler)
+      : runner_(profiler != nullptr ? runner : nullptr) {
+    if (runner_ != nullptr) runner_->set_profiler(profiler);
+  }
+  ~ProfilerAttachment() {
+    if (runner_ != nullptr) runner_->set_profiler(nullptr);
+  }
+  ProfilerAttachment(const ProfilerAttachment&) = delete;
+  ProfilerAttachment& operator=(const ProfilerAttachment&) = delete;
+
+ private:
+  TrialRunner* runner_;
+};
+
 /// Serial or pooled trial fan-out; results land in trial-index order so the
 /// reduction (and therefore the returned stats) is identical either way.
 std::vector<strategy::RunResult> run_trials_results_impl(
     ExperimentConfig config, const load::LoadModel& model,
-    strategy::Strategy& strategy, std::size_t trials, TrialRunner* runner) {
+    strategy::Strategy& strategy, std::size_t trials, TrialRunner* runner,
+    obs::TrialProfiler* profiler = nullptr) {
   if (trials == 0) throw std::invalid_argument("run_trials: zero trials");
   const std::uint64_t base_seed = config.seed;
   std::vector<strategy::RunResult> results(trials);
   if (runner == nullptr) {
     for (std::size_t t = 0; t < trials; ++t) {
       config.seed = base_seed + t;
-      results[t] = run_single(config, model, strategy);
+      if (profiler != nullptr) {
+        // Serial path: no queue, so submit == begin and the wait is zero.
+        const double begin_s = profiler->now();
+        results[t] = run_single(config, model, strategy);
+        profiler->record(t, /*worker=*/0, begin_s, begin_s,
+                         profiler->now());
+      } else {
+        results[t] = run_single(config, model, strategy);
+      }
     }
   } else {
+    const ProfilerAttachment attachment(runner, profiler);
     runner->parallel_for(trials, [&](std::size_t t) {
       ExperimentConfig trial_config = config;
       trial_config.seed = base_seed + t;
@@ -214,18 +342,27 @@ std::vector<strategy::RunResult> run_trials_results_impl(
 
 std::vector<strategy::RunResult> run_trials_results(
     ExperimentConfig config, const load::LoadModel& model,
-    strategy::Strategy& strategy, std::size_t trials, std::size_t jobs) {
+    strategy::Strategy& strategy, std::size_t trials, std::size_t jobs,
+    obs::TrialProfiler* profiler) {
   if (jobs == 1) {
     return run_trials_results_impl(std::move(config), model, strategy, trials,
-                                   /*runner=*/nullptr);
+                                   /*runner=*/nullptr, profiler);
   }
   if (jobs == 0) {
     return run_trials_results_impl(std::move(config), model, strategy, trials,
-                                   &TrialRunner::shared());
+                                   &TrialRunner::shared(), profiler);
   }
   TrialRunner runner(jobs);
   return run_trials_results_impl(std::move(config), model, strategy, trials,
-                                 &runner);
+                                 &runner, profiler);
+}
+
+std::unique_ptr<obs::MetricsRegistry> merge_trial_metrics(
+    const std::vector<strategy::RunResult>& results) {
+  auto merged = std::make_unique<obs::MetricsRegistry>();
+  for (const strategy::RunResult& r : results)
+    if (r.metrics) merged->merge_from(*r.metrics);
+  return merged;
 }
 
 TrialStats run_trials(ExperimentConfig config, const load::LoadModel& model,
@@ -264,8 +401,15 @@ void json_number(std::ostream& os, double value) {
 
 }  // namespace
 
-void TrialStats::print_json(std::ostream& os) const {
-  os << "{\"mean\":";
+void TrialStats::print_json(std::ostream& os,
+                            const obs::Provenance* meta) const {
+  os << '{';
+  if (meta != nullptr) {
+    os << "\"meta\":";
+    meta->write_json(os);
+    os << ',';
+  }
+  os << "\"mean\":";
   json_number(os, mean);
   os << ",\"stddev\":";
   json_number(os, stddev);
@@ -356,8 +500,15 @@ void json_array(std::ostream& os, const std::vector<double>& values) {
 
 }  // namespace
 
-void SeriesReport::print_json(std::ostream& os) const {
-  os << "{\"title\":";
+void SeriesReport::print_json(std::ostream& os,
+                              const obs::Provenance* meta) const {
+  os << '{';
+  if (meta != nullptr) {
+    os << "\"meta\":";
+    meta->write_json(os);
+    os << ',';
+  }
+  os << "\"title\":";
   json_string(os, title);
   os << ",\"x_label\":";
   json_string(os, x_label);

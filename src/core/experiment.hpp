@@ -5,17 +5,34 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "app/app_spec.hpp"
 #include "audit/auditor.hpp"
 #include "fault/fault.hpp"
 #include "load/load_model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/provenance.hpp"
 #include "platform/cluster.hpp"
 #include "strategy/strategy.hpp"
 
 namespace simsweep::core {
+
+/// Per-run observability switches.  Both collectors only *read* simulation
+/// state, so an observed run is bitwise identical to a plain one.
+struct ObsConfig {
+  /// Attach a per-trial obs::MetricsRegistry (RunResult::metrics).
+  bool metrics = false;
+
+  /// Attach a per-trial obs::TimelineTracer (RunResult::timeline).
+  bool timeline = false;
+
+  [[nodiscard]] bool any() const noexcept { return metrics || timeline; }
+};
 
 struct ExperimentConfig {
   platform::ClusterSpec cluster;
@@ -58,7 +75,27 @@ struct ExperimentConfig {
   /// kOff, the SIMSWEEP_AUDIT environment variable ("fail"/"warn") applies
   /// instead, so whole test suites can run audited without code changes.
   audit::AuditMode audit = audit::AuditMode::kOff;
+
+  /// Observability collection (metrics registry / timeline tracer per
+  /// trial).  Off by default: every instrumentation site is a null-pointer
+  /// check, so a run without observability does no extra work.
+  ObsConfig obs;
 };
+
+/// Deterministic hex digest of everything in `config` that shapes a run
+/// except the seed (which provenance reports separately).  The load model
+/// and strategy are not part of ExperimentConfig, so callers fold them in
+/// through `extra` (canonically `model.describe() + ";" + strategy.name()`);
+/// with that done, equal digests + equal seeds produce bitwise-identical
+/// runs.
+[[nodiscard]] std::string config_digest(const ExperimentConfig& config,
+                                        std::string_view extra = {});
+
+/// Provenance for `config`'s runs: compiled-in build stamps + the config's
+/// seed and digest (with `extra` folded in, as in config_digest).  The
+/// shared "meta" block of every JSON artifact.
+[[nodiscard]] obs::Provenance make_run_provenance(
+    const ExperimentConfig& config, std::string_view extra = {});
 
 /// One simulated run of `strategy` under `model`.  Fully deterministic in
 /// (config, model parameters, strategy).
@@ -94,8 +131,10 @@ struct TrialStats {
   /// only; fail mode throws before reaching the reduction).
   std::size_t audit_violations = 0;
 
-  /// One-line JSON object with every field above.
-  void print_json(std::ostream& os) const;
+  /// One-line JSON object with every field above.  When `meta` is non-null
+  /// the object leads with a "meta" provenance block.
+  void print_json(std::ostream& os, const obs::Provenance* meta) const;
+  void print_json(std::ostream& os) const { print_json(os, nullptr); }
 };
 
 /// Folds per-trial results, in trial order, into summary statistics.
@@ -133,7 +172,15 @@ struct TrialStats {
 /// run_trials_parallel; `jobs` == 1 runs the trials serially.
 [[nodiscard]] std::vector<strategy::RunResult> run_trials_results(
     ExperimentConfig config, const load::LoadModel& model,
-    strategy::Strategy& strategy, std::size_t trials, std::size_t jobs = 1);
+    strategy::Strategy& strategy, std::size_t trials, std::size_t jobs = 1,
+    obs::TrialProfiler* profiler = nullptr);
+
+/// Folds the per-trial metrics registries of `results` into one snapshot,
+/// in trial-index order — the same order regardless of --jobs, so the
+/// merged snapshot is bitwise identical at any parallelism.  Trials without
+/// a registry (obs disabled) are skipped.
+[[nodiscard]] std::unique_ptr<obs::MetricsRegistry> merge_trial_metrics(
+    const std::vector<strategy::RunResult>& results);
 
 /// A figure-shaped result: one x axis, one y series per strategy.
 struct SeriesReport {
@@ -154,8 +201,10 @@ struct SeriesReport {
   void print_csv(std::ostream& os) const;
 
   /// Machine-readable JSON object: title, x_label, x, and per-series mean
-  /// makespans and adaptation counts.  Doubles round-trip exactly.
-  void print_json(std::ostream& os) const;
+  /// makespans and adaptation counts.  Doubles round-trip exactly.  When
+  /// `meta` is non-null the object leads with a "meta" provenance block.
+  void print_json(std::ostream& os, const obs::Provenance* meta) const;
+  void print_json(std::ostream& os) const { print_json(os, nullptr); }
 };
 
 }  // namespace simsweep::core

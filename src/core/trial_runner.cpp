@@ -9,7 +9,7 @@ TrialRunner::TrialRunner(std::size_t parallelism) {
   if (parallelism == 0) parallelism = default_parallelism();
   workers_.reserve(parallelism - 1);
   for (std::size_t i = 0; i + 1 < parallelism; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, id = i + 1] { worker_loop(id); });
 }
 
 TrialRunner::~TrialRunner() {
@@ -35,13 +35,19 @@ TrialRunner& TrialRunner::shared() {
   return runner;
 }
 
-void TrialRunner::run_one(Batch& batch, std::size_t i) {
+void TrialRunner::run_one(Batch& batch, std::size_t i,
+                          std::size_t worker_id) {
+  obs::TrialProfiler* profiler = profiler_.load(std::memory_order_relaxed);
+  const double begin_s = profiler != nullptr ? profiler->now() : 0.0;
   std::exception_ptr error;
   try {
     (*batch.body)(i);
   } catch (...) {
     error = std::current_exception();
   }
+  if (profiler != nullptr)
+    profiler->record(i, worker_id, batch.submitted_s, begin_s,
+                     profiler->now());
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (error && !batch.error) {
@@ -55,7 +61,7 @@ void TrialRunner::run_one(Batch& batch, std::size_t i) {
   done_cv_.notify_all();
 }
 
-void TrialRunner::worker_loop() {
+void TrialRunner::worker_loop(std::size_t worker_id) {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -69,7 +75,7 @@ void TrialRunner::worker_loop() {
     const std::size_t i = batch->next++;
     ++batch->started;
     lock.unlock();
-    run_one(*batch, i);
+    run_one(*batch, i, worker_id);
     lock.lock();
   }
 }
@@ -80,6 +86,10 @@ void TrialRunner::parallel_for(std::size_t count,
   Batch batch;
   batch.body = &body;
   batch.count = count;
+  if (obs::TrialProfiler* profiler =
+          profiler_.load(std::memory_order_relaxed);
+      profiler != nullptr)
+    batch.submitted_s = profiler->now();
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(&batch);
@@ -93,7 +103,7 @@ void TrialRunner::parallel_for(std::size_t count,
     const std::size_t i = batch.next++;
     ++batch.started;
     lock.unlock();
-    run_one(batch, i);
+    run_one(batch, i, /*worker_id=*/0);
     lock.lock();
   }
   // Cancellation moves `next` to `count` without claiming, so wait on the

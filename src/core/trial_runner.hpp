@@ -14,6 +14,7 @@
 // deadlock: every caller always has work it can execute itself.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -21,6 +22,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/profiler.hpp"
 
 namespace simsweep::core {
 
@@ -56,6 +59,15 @@ class TrialRunner {
   /// Process-wide runner sized by default_parallelism() on first use.
   [[nodiscard]] static TrialRunner& shared();
 
+  /// Attaches a wall-clock profiler: every parallel_for call records one
+  /// TrialProfiler entry per index (submit time, execution window, worker
+  /// id).  The calling thread is worker 0; spawned workers are 1..N-1.
+  /// Null (the default) disables recording; the hot path is one relaxed
+  /// atomic load.  The profiler must outlive its attachment.
+  void set_profiler(obs::TrialProfiler* profiler) noexcept {
+    profiler_.store(profiler, std::memory_order_relaxed);
+  }
+
  private:
   /// One parallel_for call: a range of indices claimed one at a time under
   /// the pool mutex.  Lives on the caller's stack for the duration of the
@@ -67,18 +79,21 @@ class TrialRunner {
     std::size_t next = 0;     ///< next unclaimed index
     std::size_t started = 0;  ///< claimed calls (never un-claimed)
     std::size_t done = 0;     ///< completed calls
+    double submitted_s = 0.0;  ///< profiler timestamp at parallel_for entry
     std::exception_ptr error;
   };
 
-  void worker_loop();
-  /// Executes index `i` of `batch` and updates completion state.
-  void run_one(Batch& batch, std::size_t i);
+  void worker_loop(std::size_t worker_id);
+  /// Executes index `i` of `batch` on `worker_id` and updates completion
+  /// state.
+  void run_one(Batch& batch, std::size_t i, std::size_t worker_id);
 
   std::mutex mutex_;
   std::condition_variable work_cv_;  ///< queue non-empty or stopping
   std::condition_variable done_cv_;  ///< some batch finished a call
   std::deque<Batch*> queue_;
   std::vector<std::thread> workers_;
+  std::atomic<obs::TrialProfiler*> profiler_{nullptr};
   bool stop_ = false;
 };
 

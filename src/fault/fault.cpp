@@ -69,11 +69,21 @@ void FaultInjector::arm() {
     simulator_.at(crash.time_s, [this, crash] {
       cluster_.host(crash.host).set_crashed();
       ++injected_;
+      count_injection("host_crash");
+      if (obs::TimelineTracer* timeline = simulator_.timeline())
+        timeline->instant(timeline->track("faults"), "host_crash", "fault",
+                          simulator_.now(),
+                          {{"host", static_cast<double>(crash.host)}});
       // Listeners run after the host is marked dead so they observe the
       // post-crash cluster state.
       for (const auto& listener : listeners_) listener(crash.host);
     });
   }
+}
+
+void FaultInjector::count_injection(std::string_view kind) {
+  if (obs::MetricsRegistry* metrics = simulator_.metrics())
+    metrics->add(obs::labelled("fault.injections", "kind", kind));
 }
 
 double FaultInjector::retry_backoff(std::size_t attempt) const {

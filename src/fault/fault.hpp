@@ -24,6 +24,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string_view>
 #include <vector>
 
 #include "platform/cluster.hpp"
@@ -121,8 +122,10 @@ class FaultInjector {
 
   /// Draws whether the next transfer attempt fails.
   [[nodiscard]] bool draw_transfer_failure() {
-    return spec_.swap_fail_prob > 0.0 &&
-           transfer_rng_.uniform01() < spec_.swap_fail_prob;
+    const bool failed = spec_.swap_fail_prob > 0.0 &&
+                        transfer_rng_.uniform01() < spec_.swap_fail_prob;
+    if (failed) count_injection("transfer_failure");
+    return failed;
   }
 
   /// How far through its bytes a failing transfer got before dying.
@@ -132,14 +135,20 @@ class FaultInjector {
 
   /// Draws whether a checkpoint write fails.
   [[nodiscard]] bool draw_checkpoint_failure() {
-    return spec_.checkpoint_fail_prob > 0.0 &&
-           checkpoint_rng_.uniform01() < spec_.checkpoint_fail_prob;
+    const bool failed =
+        spec_.checkpoint_fail_prob > 0.0 &&
+        checkpoint_rng_.uniform01() < spec_.checkpoint_fail_prob;
+    if (failed) count_injection("checkpoint_failure");
+    return failed;
   }
 
   /// Capped exponential backoff before retry number `attempt` + 1.
   [[nodiscard]] double retry_backoff(std::size_t attempt) const;
 
  private:
+  /// Bumps "fault.injections{kind=...}" when a metrics registry is attached.
+  void count_injection(std::string_view kind);
+
   sim::Simulator& simulator_;
   platform::Cluster& cluster_;
   FaultSpec spec_;

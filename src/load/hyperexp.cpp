@@ -66,4 +66,12 @@ std::unique_ptr<LoadSource> HyperExpModel::make_source(sim::Rng rng) const {
   return std::make_unique<HyperExpSource>(params_, rng);
 }
 
+std::string HyperExpModel::describe() const {
+  return "hyperexp;mean_lifetime_s=" +
+         describe_number(params_.mean_lifetime_s) +
+         ";long_prob=" + describe_number(params_.long_prob) +
+         ";mean_interarrival_s=" +
+         describe_number(params_.mean_interarrival_s);
+}
+
 }  // namespace simsweep::load

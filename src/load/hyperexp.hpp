@@ -34,6 +34,8 @@ class HyperExpModel final : public LoadModel {
   [[nodiscard]] std::unique_ptr<LoadSource> make_source(
       sim::Rng rng) const override;
 
+  [[nodiscard]] std::string describe() const override;
+
   [[nodiscard]] const HyperExpParams& params() const noexcept {
     return params_;
   }

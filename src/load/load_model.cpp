@@ -1,8 +1,19 @@
 #include "load/load_model.hpp"
 
+#include <charconv>
+#include <stdexcept>
+
 #include "platform/cluster.hpp"
 
 namespace simsweep::load {
+
+std::string describe_number(double value) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec != std::errc())
+    throw std::runtime_error("describe_number: to_chars failed");
+  return std::string(buf, ptr);
+}
 
 std::vector<std::unique_ptr<LoadSource>> LoadModel::attach_all(
     const LoadModel& model, sim::Simulator& simulator,

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "platform/host.hpp"
 #include "simcore/rng.hpp"
@@ -39,6 +40,12 @@ class LoadModel {
   [[nodiscard]] virtual std::unique_ptr<LoadSource> make_source(
       sim::Rng rng) const = 0;
 
+  /// Canonical one-line description of the model and every parameter that
+  /// shapes its load process ("onoff;p=0.3;q=0.08;..."), in round-trip
+  /// number form.  Folded into the provenance config digest, so two runs
+  /// whose digests match really did draw from the same load process.
+  [[nodiscard]] virtual std::string describe() const = 0;
+
   /// Attaches a fresh source to every host of a cluster.  `root_seed`
   /// derives one stream per host id.  Returns the sources; callers keep them
   /// alive for the duration of the simulation.
@@ -46,5 +53,10 @@ class LoadModel {
       const LoadModel& model, sim::Simulator& simulator,
       platform::Cluster& cluster, std::uint64_t root_seed);
 };
+
+/// Shortest round-trip rendering of `value` for describe() strings, so
+/// descriptions (and the digests built from them) distinguish any two
+/// doubles that differ.
+[[nodiscard]] std::string describe_number(double value);
 
 }  // namespace simsweep::load

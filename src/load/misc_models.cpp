@@ -32,6 +32,10 @@ std::unique_ptr<LoadSource> ConstantModel::make_source(sim::Rng) const {
   return std::make_unique<ConstantSource>(competitors_);
 }
 
+std::string ConstantModel::describe() const {
+  return "constant;competitors=" + std::to_string(competitors_);
+}
+
 // ------------------------------------------------------------------- Trace
 
 namespace {
@@ -102,6 +106,19 @@ std::unique_ptr<LoadSource> TraceModel::make_source(sim::Rng rng) const {
   return std::make_unique<TraceSource>(&trace_, period_, phase);
 }
 
+std::string TraceModel::describe() const {
+  std::string out = "trace;period_s=" + describe_number(period_) +
+                    ";random_phase=" + (random_phase_ ? "1" : "0") +
+                    ";samples=";
+  for (const sim::Sample& s : trace_) {
+    out += describe_number(s.time);
+    out += ':';
+    out += describe_number(s.value);
+    out += ',';
+  }
+  return out;
+}
+
 // --------------------------------------------------------------- Composite
 
 namespace {
@@ -170,6 +187,15 @@ CompositeOnOffModel::CompositeOnOffModel(std::vector<OnOffParams> sources)
 std::unique_ptr<LoadSource> CompositeOnOffModel::make_source(
     sim::Rng rng) const {
   return std::make_unique<CompositeOnOffSource>(sources_, rng);
+}
+
+std::string CompositeOnOffModel::describe() const {
+  std::string out = "composite_onoff;sources=";
+  for (const OnOffParams& p : sources_) {
+    out += OnOffModel(p).describe();
+    out += '|';
+  }
+  return out;
 }
 
 }  // namespace simsweep::load

@@ -20,6 +20,7 @@ class ConstantModel final : public LoadModel {
   explicit ConstantModel(int competitors);
   [[nodiscard]] std::unique_ptr<LoadSource> make_source(
       sim::Rng rng) const override;
+  [[nodiscard]] std::string describe() const override;
 
  private:
   int competitors_;
@@ -40,6 +41,8 @@ class TraceModel final : public LoadModel {
   [[nodiscard]] std::unique_ptr<LoadSource> make_source(
       sim::Rng rng) const override;
 
+  [[nodiscard]] std::string describe() const override;
+
   [[nodiscard]] const std::vector<sim::Sample>& trace() const noexcept {
     return trace_;
   }
@@ -57,6 +60,7 @@ class CompositeOnOffModel final : public LoadModel {
   explicit CompositeOnOffModel(std::vector<OnOffParams> sources);
   [[nodiscard]] std::unique_ptr<LoadSource> make_source(
       sim::Rng rng) const override;
+  [[nodiscard]] std::string describe() const override;
 
  private:
   std::vector<OnOffParams> sources_;

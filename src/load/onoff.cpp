@@ -65,6 +65,13 @@ std::unique_ptr<LoadSource> OnOffModel::make_source(sim::Rng rng) const {
   return std::make_unique<OnOffSource>(params_, rng);
 }
 
+std::string OnOffModel::describe() const {
+  return "onoff;p=" + describe_number(params_.p) +
+         ";q=" + describe_number(params_.q) +
+         ";step_s=" + describe_number(params_.step_s) + ";stationary_start=" +
+         (params_.stationary_start ? "1" : "0");
+}
+
 double OnOffModel::stationary_on_fraction() const noexcept {
   const double total = params_.p + params_.q;
   return total > 0.0 ? params_.p / total : 0.0;

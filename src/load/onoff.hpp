@@ -47,6 +47,8 @@ class OnOffModel final : public LoadModel {
   [[nodiscard]] std::unique_ptr<LoadSource> make_source(
       sim::Rng rng) const override;
 
+  [[nodiscard]] std::string describe() const override;
+
   [[nodiscard]] const OnOffParams& params() const noexcept { return params_; }
 
   /// Long-run fraction of time a host is loaded: p / (p + q); 0 when the

@@ -56,4 +56,12 @@ std::unique_ptr<LoadSource> ReclamationModel::make_source(sim::Rng rng) const {
                                              rng.split(2));
 }
 
+std::string ReclamationModel::describe() const {
+  return "reclaim;mean_available_s=" +
+         describe_number(params_.mean_available_s) + ";mean_reclaimed_s=" +
+         describe_number(params_.mean_reclaimed_s) + ";start_available=" +
+         (params_.start_available ? "1" : "0") + ";base=[" +
+         (base_ ? base_->describe() : "none") + "]";
+}
+
 }  // namespace simsweep::load

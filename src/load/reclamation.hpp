@@ -31,6 +31,8 @@ class ReclamationModel final : public LoadModel {
   [[nodiscard]] std::unique_ptr<LoadSource> make_source(
       sim::Rng rng) const override;
 
+  [[nodiscard]] std::string describe() const override;
+
   [[nodiscard]] const ReclamationParams& params() const noexcept {
     return params_;
   }

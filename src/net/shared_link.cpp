@@ -9,8 +9,14 @@ void Flow::cancel() {
   if (!active_) return;
   active_ = false;
   event_.cancel();
-  if (net_ != nullptr && !in_latency_) net_->remove_flow(this);
-  if (net_ != nullptr && !in_latency_) net_->reshare();
+  if (net_ != nullptr) {
+    if (obs::MetricsRegistry* metrics = net_->simulator_.metrics())
+      metrics->add("net.flows_cancelled");
+    if (!in_latency_) {
+      net_->remove_flow(this);
+      net_->reshare();
+    }
+  }
   net_ = nullptr;
 }
 
@@ -28,6 +34,9 @@ std::shared_ptr<Flow> SharedLinkNetwork::start_transfer(double bytes,
   if (bytes < 0.0)
     throw std::invalid_argument("SharedLinkNetwork: negative payload");
   auto flow = std::shared_ptr<Flow>(new Flow(*this, bytes, std::move(done)));
+  flow->started_ = simulator_.now();
+  if (obs::MetricsRegistry* metrics = simulator_.metrics())
+    metrics->add("net.flows_started");
   std::weak_ptr<Flow> weak = flow;
   flow->event_ = simulator_.after(link_.latency_s, [this, weak] {
     if (auto f = weak.lock(); f && f->active()) admit(f);
@@ -42,6 +51,7 @@ void SharedLinkNetwork::admit(const std::shared_ptr<Flow>& flow) {
     // Latency-only message: complete immediately after alpha.
     flow->active_ = false;
     flow->net_ = nullptr;
+    observe_completion(*flow);
     if (flow->done_) flow->done_();
     return;
   }
@@ -61,6 +71,8 @@ void SharedLinkNetwork::reshare() {
   const bool auditing = auditor != nullptr && auditor->enabled();
   do {
     reshare_pending_ = false;
+    if (obs::MetricsRegistry* metrics = simulator_.metrics())
+      metrics->add("net.reshare_passes");
     reshare_pass(auditing);
   } while (reshare_pending_);
   resharing_ = false;
@@ -146,8 +158,23 @@ void SharedLinkNetwork::finish(const std::shared_ptr<Flow>& flow) {
   flow->active_ = false;
   flow->net_ = nullptr;
   remove_flow(flow.get());
+  observe_completion(*flow);
   reshare();
   if (flow->done_) flow->done_();
+}
+
+/// Completion-side observability: one counter tick, the payload into the
+/// bytes histogram, and a [submit, land] span on the shared "network" track.
+void SharedLinkNetwork::observe_completion(const Flow& flow) {
+  const SimTime now = simulator_.now();
+  if (obs::MetricsRegistry* metrics = simulator_.metrics()) {
+    metrics->add("net.flows_completed");
+    metrics->observe("net.flow_bytes", flow.initial_bytes_);
+    metrics->observe("net.flow_duration_s", now - flow.started_);
+  }
+  if (obs::TimelineTracer* timeline = simulator_.timeline())
+    timeline->span(timeline->track("network"), "flow", "net", flow.started_,
+                   now, {{"bytes", flow.initial_bytes_}});
 }
 
 void SharedLinkNetwork::remove_flow(const Flow* flow) {

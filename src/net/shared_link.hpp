@@ -47,6 +47,7 @@ class Flow {
   double remaining_;
   double initial_bytes_;  // payload at start; auditor conservation bound
   Completion done_;
+  SimTime started_ = 0.0;  // submission time; timeline flow spans
   SimTime last_update_ = 0.0;
   double rate_ = 0.0;  // bytes/s granted at last re-share
   bool in_latency_ = true;
@@ -87,6 +88,7 @@ class SharedLinkNetwork {
   void finish(const std::shared_ptr<Flow>& flow);
   void remove_flow(const Flow* flow);
   void audit_accrual(const Flow& flow, SimTime now, double elapsed) const;
+  void observe_completion(const Flow& flow);
 
   sim::Simulator& simulator_;
   platform::LinkSpec link_;

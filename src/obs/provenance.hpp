@@ -1,0 +1,38 @@
+// Build/run provenance stamped into every JSON emitter.
+//
+// A metrics snapshot or trace file divorced from the binary and config that
+// produced it is unreproducible; the shared "meta" object ties each artifact
+// back to the exact build (git describe + build type, captured at configure
+// time) and run (root seed + a digest of the experiment config).  Emitters
+// take an optional `const Provenance*` so existing callers pay nothing.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace simsweep::obs {
+
+struct Provenance {
+  std::string version;     // git describe --always --dirty (configure time)
+  std::string build_type;  // CMAKE_BUILD_TYPE
+  std::uint64_t seed = 0;  // root seed of the run
+  std::string config_digest;  // hex FNV-1a over the serialized config
+
+  /// Writes the {"version":...,"build_type":...,"seed":...,
+  /// "config_digest":...} object (no trailing newline).
+  void write_json(std::ostream& os) const;
+};
+
+/// Provenance pre-filled with the compiled-in version/build-type stamps.
+[[nodiscard]] Provenance make_provenance(std::uint64_t seed,
+                                         std::string config_digest);
+
+/// 64-bit FNV-1a, the digest primitive behind config_digest.
+[[nodiscard]] std::uint64_t fnv1a(std::string_view bytes) noexcept;
+
+/// Lower-case fixed-width hex of a 64-bit value ("00ff...").
+[[nodiscard]] std::string hex64(std::uint64_t value);
+
+}  // namespace simsweep::obs

@@ -1,0 +1,167 @@
+#include "obs/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+#include "obs/provenance.hpp"
+
+namespace simsweep::obs {
+
+namespace {
+
+constexpr double kMicrosPerSecond = 1e6;
+
+std::vector<std::pair<std::string, double>> copy_args(
+    std::initializer_list<TimelineTracer::Arg> args) {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(args.size());
+  for (const auto& arg : args) out.emplace_back(std::string(arg.name), arg.value);
+  return out;
+}
+
+void write_event(std::ostream& os, const TimelineTracer::Event& e,
+                 std::uint32_t pid) {
+  os << "{\"name\":";
+  write_json_string(os, e.name);
+  os << ",\"cat\":";
+  write_json_string(os, e.category.empty() ? "sim" : e.category);
+  os << ",\"ph\":\"" << (e.phase == TimelineTracer::Phase::kSpan ? 'X' : 'i')
+     << "\",\"ts\":";
+  write_json_number(os, e.begin_s * kMicrosPerSecond);
+  if (e.phase == TimelineTracer::Phase::kSpan) {
+    os << ",\"dur\":";
+    write_json_number(os, (e.end_s - e.begin_s) * kMicrosPerSecond);
+  } else {
+    os << ",\"s\":\"t\"";
+  }
+  os << ",\"pid\":";
+  write_json_number(os, static_cast<std::uint64_t>(pid));
+  os << ",\"tid\":";
+  write_json_number(os, static_cast<std::uint64_t>(e.track));
+  if (!e.args.empty()) {
+    os << ",\"args\":{";
+    bool first = true;
+    for (const auto& [name, value] : e.args) {
+      if (!first) os << ',';
+      first = false;
+      write_json_string(os, name);
+      os << ':';
+      write_json_number(os, value);
+    }
+    os << '}';
+  }
+  os << '}';
+}
+
+void write_metadata_string(std::ostream& os, std::string_view meta_name,
+                           std::string_view value, std::uint32_t pid,
+                           std::uint32_t tid) {
+  os << "{\"name\":";
+  write_json_string(os, meta_name);
+  os << ",\"ph\":\"M\",\"pid\":";
+  write_json_number(os, static_cast<std::uint64_t>(pid));
+  os << ",\"tid\":";
+  write_json_number(os, static_cast<std::uint64_t>(tid));
+  os << ",\"args\":{\"name\":";
+  write_json_string(os, value);
+  os << "}}";
+}
+
+}  // namespace
+
+TimelineTracer::TrackId TimelineTracer::track(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < tracks_.size(); ++i)
+    if (tracks_[i] == name) return static_cast<TrackId>(i);
+  tracks_.emplace_back(name);
+  return static_cast<TrackId>(tracks_.size() - 1);
+}
+
+void TimelineTracer::span(TrackId track, std::string_view name,
+                          std::string_view category, double begin_s,
+                          double end_s, std::initializer_list<Arg> args) {
+  if (!std::isfinite(begin_s) || !std::isfinite(end_s))
+    throw std::invalid_argument("TimelineTracer::span: non-finite endpoint");
+  if (end_s < begin_s)
+    throw std::invalid_argument("TimelineTracer::span: end before begin");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(Event{Phase::kSpan, track, std::string(name),
+                          std::string(category), begin_s, end_s,
+                          copy_args(args)});
+}
+
+void TimelineTracer::instant(TrackId track, std::string_view name,
+                             std::string_view category, double time_s,
+                             std::initializer_list<Arg> args) {
+  if (!std::isfinite(time_s))
+    throw std::invalid_argument("TimelineTracer::instant: non-finite time");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(Event{Phase::kInstant, track, std::string(name),
+                          std::string(category), time_s, time_s,
+                          copy_args(args)});
+}
+
+std::size_t TimelineTracer::event_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<std::string> TimelineTracer::track_names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return tracks_;
+}
+
+std::vector<TimelineTracer::Event> TimelineTracer::sorted_events() const {
+  std::vector<Event> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out = events_;
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.begin_s < b.begin_s;
+                   });
+  return out;
+}
+
+void TimelineTracer::write_chrome_json(std::ostream& os,
+                                       const Provenance* meta) const {
+  write_chrome_json(os, {Process{"trial 0", this}}, meta);
+}
+
+void TimelineTracer::write_chrome_json(std::ostream& os,
+                                       const std::vector<Process>& processes,
+                                       const Provenance* meta) {
+  os << "{\"displayTimeUnit\":\"ms\"";
+  if (meta != nullptr) {
+    os << ",\"otherData\":{\"meta\":";
+    meta->write_json(os);
+    os << '}';
+  }
+  os << ",\"traceEvents\":[";
+  bool first = true;
+  std::uint32_t pid = 0;
+  for (const Process& process : processes) {
+    ++pid;
+    if (process.tracer == nullptr) continue;
+    if (!first) os << ',';
+    first = false;
+    write_metadata_string(os, "process_name", process.name, pid, 0);
+    const std::vector<std::string> tracks = process.tracer->track_names();
+    for (std::size_t tid = 0; tid < tracks.size(); ++tid) {
+      os << ',';
+      write_metadata_string(os, "thread_name", tracks[tid], pid,
+                            static_cast<std::uint32_t>(tid));
+    }
+    for (const Event& e : process.tracer->sorted_events()) {
+      os << ',';
+      write_event(os, e, pid);
+    }
+  }
+  os << "]}\n";
+}
+
+}  // namespace simsweep::obs

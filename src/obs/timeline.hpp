@@ -1,0 +1,94 @@
+// Virtually-timestamped timeline tracing with Chrome trace-event export.
+//
+// Subsystems record typed span ("ph":"X") and instant ("ph":"i") events on
+// named tracks — one per host, rank, or logical subsystem — stamped with
+// *simulated* time.  write_chrome_json() emits the Chrome trace-event JSON
+// format (https://ui.perfetto.dev loads it directly): virtual seconds map to
+// trace microseconds, tracks map to threads, and trials map to processes.
+//
+// Like the metrics registry, a tracer is attached per trial behind a null
+// pointer, fed only from simulation events, and therefore bitwise
+// reproducible at any --jobs.  Recording is mutex-protected so swampi ranks
+// can share one tracer; export assumes mutation has quiesced.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace simsweep::obs {
+
+struct Provenance;
+
+class TimelineTracer {
+ public:
+  using TrackId = std::uint32_t;
+
+  /// One numeric event argument, rendered into the Chrome "args" object.
+  struct Arg {
+    std::string_view name;
+    double value;
+  };
+
+  enum class Phase : std::uint8_t { kSpan, kInstant };
+
+  struct Event {
+    Phase phase;
+    TrackId track;
+    std::string name;
+    std::string category;
+    double begin_s;
+    double end_s;  // == begin_s for instants
+    std::vector<std::pair<std::string, double>> args;
+  };
+
+  TimelineTracer() = default;
+  TimelineTracer(const TimelineTracer&) = delete;
+  TimelineTracer& operator=(const TimelineTracer&) = delete;
+
+  /// Get-or-create a track by name.  Ids are dense and assigned in first-use
+  /// order, which is deterministic because recording is.
+  [[nodiscard]] TrackId track(std::string_view name);
+
+  /// Records a completed span [begin_s, end_s] of simulated time.  Throws
+  /// std::invalid_argument on end_s < begin_s or a non-finite endpoint.
+  void span(TrackId track, std::string_view name, std::string_view category,
+            double begin_s, double end_s,
+            std::initializer_list<Arg> args = {});
+
+  /// Records a point event at time_s.
+  void instant(TrackId track, std::string_view name, std::string_view category,
+               double time_s, std::initializer_list<Arg> args = {});
+
+  [[nodiscard]] std::size_t event_count() const;
+  [[nodiscard]] std::vector<std::string> track_names() const;
+
+  /// Events stable-sorted by begin time: equal timestamps keep recording
+  /// order, so the export is deterministic and causally readable.
+  [[nodiscard]] std::vector<Event> sorted_events() const;
+
+  /// Single-process export (pid 1).
+  void write_chrome_json(std::ostream& os,
+                         const Provenance* meta = nullptr) const;
+
+  /// Multi-process export: one Chrome "process" per entry (pid = index + 1),
+  /// used to stitch per-trial tracers into one trace file.
+  struct Process {
+    std::string name;
+    const TimelineTracer* tracer;
+  };
+  static void write_chrome_json(std::ostream& os,
+                                const std::vector<Process>& processes,
+                                const Provenance* meta = nullptr);
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::string> tracks_;
+  std::vector<Event> events_;
+};
+
+}  // namespace simsweep::obs

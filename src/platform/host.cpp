@@ -69,6 +69,29 @@ void Host::record_state() {
       online_ ? static_cast<double>(external_load_) : kOfflineMarker});
   if (trace_ != nullptr)
     trace_->record("avail." + name_, simulator_.now(), availability());
+  if (obs::MetricsRegistry* metrics = simulator_.metrics()) {
+    if (load_changes_metric_ == nullptr) {
+      static const std::vector<double> kAvailabilityBounds{
+          0.0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0};
+      load_changes_metric_ = &metrics->counter("platform.load_changes");
+      availability_metric_ =
+          &metrics->histogram("platform.availability", kAvailabilityBounds);
+    }
+    load_changes_metric_->add();
+    availability_metric_->observe(availability());
+  }
+  if (obs::TimelineTracer* timeline = simulator_.timeline()) {
+    if (!timeline_track_cached_) {
+      timeline_track_ = timeline->track(name_);
+      timeline_track_cached_ = true;
+    }
+    timeline->instant(timeline_track_, "load", "platform", simulator_.now(),
+                      {{"availability", availability()},
+                       {"external_load", online_
+                                             ? static_cast<double>(
+                                                   external_load_)
+                                             : kOfflineMarker}});
+  }
 }
 
 std::shared_ptr<ComputeTask> Host::start_compute(double work,

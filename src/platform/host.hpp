@@ -168,6 +168,14 @@ class Host {
   std::vector<std::shared_ptr<ComputeTask>> tasks_;
   std::vector<sim::Sample> load_history_;
   sim::TraceRecorder* trace_ = nullptr;
+
+  // Cached observability handles: record_state fires on every load change
+  // (the hottest instrumented path), and the registry/tracer are fixed for
+  // a simulation's lifetime, so the name lookups happen once per host.
+  obs::Counter* load_changes_metric_ = nullptr;
+  obs::Histogram* availability_metric_ = nullptr;
+  obs::TimelineTracer::TrackId timeline_track_ = 0;
+  bool timeline_track_cached_ = false;
 };
 
 }  // namespace simsweep::platform

@@ -12,6 +12,8 @@
 #include <utility>
 
 #include "audit/auditor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "simcore/event_queue.hpp"
 #include "simcore/sim_time.hpp"
 
@@ -50,6 +52,43 @@ class Simulator {
     return auditor_;
   }
 
+  /// Attaches (or detaches, with nullptr) the metrics registry.  Follows the
+  /// auditor pattern: models reach the per-run registry through the
+  /// simulator, every site null-checks, and recording only reads simulation
+  /// state — an instrumented run is bitwise identical to a plain one.
+  void set_metrics(obs::MetricsRegistry* metrics) noexcept {
+    metrics_ = metrics;
+  }
+
+  [[nodiscard]] obs::MetricsRegistry* metrics() const noexcept {
+    return metrics_;
+  }
+
+  // Queue-depth statistics, accumulated per popped event while a registry
+  // is attached.  Kept as plain members (no registry lookup, no lock) so
+  // the per-event cost is a handful of arithmetic ops; the experiment layer
+  // flushes them into gauges at end of run.
+  [[nodiscard]] std::uint64_t queue_depth_samples() const noexcept {
+    return depth_samples_;
+  }
+  [[nodiscard]] double queue_depth_mean() const noexcept {
+    return depth_samples_ == 0
+               ? 0.0
+               : depth_sum_ / static_cast<double>(depth_samples_);
+  }
+  [[nodiscard]] std::size_t queue_depth_max() const noexcept {
+    return depth_max_;
+  }
+
+  /// Attaches (or detaches, with nullptr) the timeline tracer.
+  void set_timeline(obs::TimelineTracer* timeline) noexcept {
+    timeline_ = timeline;
+  }
+
+  [[nodiscard]] obs::TimelineTracer* timeline() const noexcept {
+    return timeline_;
+  }
+
   /// Schedules `cb` at absolute time `at` (must not be in the past).
   EventHandle at(SimTime at, Callback cb) {
     if (at < now_ - kTimeEpsilon)
@@ -81,6 +120,14 @@ class Simulator {
       if (budget_ != 0 && fired_ >= budget_) throw EventBudgetExceeded(budget_);
       auto [t, cb] = queue_.pop();
       if (auditor_ != nullptr && auditor_->enabled()) audit_pop(t);
+      // size_bound() is an upper bound (buried cancelled entries count),
+      // which is exactly the memory-pressure quantity worth watching.
+      if (metrics_ != nullptr) {
+        const std::size_t depth = queue_.size_bound();
+        depth_sum_ += static_cast<double>(depth);
+        ++depth_samples_;
+        if (depth > depth_max_) depth_max_ = depth;
+      }
       now_ = t;
       ++fired_;
       cb();
@@ -123,6 +170,12 @@ class Simulator {
   std::uint64_t budget_ = 0;  // 0 = unlimited
   bool stopped_ = false;
   audit::InvariantAuditor* auditor_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TimelineTracer* timeline_ = nullptr;
+  // Queue-depth accumulators (active only while metrics_ is attached).
+  std::uint64_t depth_samples_ = 0;
+  double depth_sum_ = 0.0;
+  std::size_t depth_max_ = 0;
 };
 
 }  // namespace simsweep::sim

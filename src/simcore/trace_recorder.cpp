@@ -3,7 +3,52 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/json.hpp"
+
 namespace simsweep::sim {
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\r\n") != std::string_view::npos;
+  if (!needs_quoting) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void TraceRecorder::write_csv(std::ostream& os, std::string_view name) const {
+  os << "time," << csv_escape(name) << '\n';
+  for (const Sample& s : series(name)) os << s.time << ',' << s.value << '\n';
+}
+
+void TraceRecorder::write_json(std::ostream& os) const {
+  os << "{\"series\":{";
+  bool first_series = true;
+  for (const auto& [name, samples] : series_) {
+    if (!first_series) os << ',';
+    first_series = false;
+    obs::write_json_string(os, name);
+    os << ":[";
+    bool first_sample = true;
+    for (const Sample& s : samples) {
+      if (!first_sample) os << ',';
+      first_sample = false;
+      os << '[';
+      obs::write_json_number(os, s.time);
+      os << ',';
+      obs::write_json_number(os, s.value);
+      os << ']';
+    }
+    os << ']';
+  }
+  os << "}}";
+}
 
 double integrate_step_series(const std::vector<Sample>& samples, SimTime t0,
                              SimTime t1, double initial) {

@@ -49,14 +49,22 @@ class TraceRecorder {
   void clear() { series_.clear(); }
 
   /// Writes `time,value` rows for one series in CSV form with a header.
-  void write_csv(std::ostream& os, std::string_view name) const {
-    os << "time," << name << '\n';
-    for (const Sample& s : series(name)) os << s.time << ',' << s.value << '\n';
-  }
+  /// Series names containing CSV metacharacters (comma, quote, newline) are
+  /// quoted and escaped per RFC 4180 so the header stays two columns.
+  void write_csv(std::ostream& os, std::string_view name) const;
+
+  /// Dumps every series as {"series":{"name":[[t,v],...],...}} with sorted
+  /// names and round-trip doubles — the structured sibling of write_csv for
+  /// names (or tools) that CSV handles poorly.
+  void write_json(std::ostream& os) const;
 
  private:
   std::map<std::string, std::vector<Sample>, std::less<>> series_;
 };
+
+/// RFC 4180 field escaping: returns `field` unchanged when it contains no
+/// comma/quote/CR/LF, otherwise wrapped in quotes with inner quotes doubled.
+[[nodiscard]] std::string csv_escape(std::string_view field);
 
 /// Integrates a piecewise-constant (step) series between t0 and t1.  The
 /// value of the series at time t is the value of the latest sample at or

@@ -1,6 +1,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "strategy/components.hpp"
 
 namespace simsweep::strategy {
@@ -73,10 +75,20 @@ void CrComponent::checkpoint_and_restart(TechniqueRuntime& rt,
   const bool write_fails =
       rt.faults() != nullptr && rt.faults()->draw_checkpoint_failure();
   const std::size_t ckpt_iter = exec.iteration();
+  const sim::SimTime ckpt_begin = rt.now();
   rt.begin_adaptation_pause();
   auto self = rt.shared_from_this();
   rt.reliable_broadcast(n, [this, self, resume = std::move(resume), n,
-                            write_fails, ckpt_iter, trace_index] {
+                            write_fails, ckpt_iter, ckpt_begin, trace_index] {
+    sim::Simulator& simulator = self->exec().simulator();
+    if (obs::MetricsRegistry* metrics = simulator.metrics())
+      metrics->add(obs::labelled("cr.checkpoints", "result",
+                                 write_fails ? "failed" : "ok"));
+    if (obs::TimelineTracer* timeline = simulator.timeline())
+      timeline->span(timeline->track("strategy"), "checkpoint write", "cr",
+                     ckpt_begin, simulator.now(),
+                     {{"iter", static_cast<double>(ckpt_iter)},
+                      {"failed", write_fails ? 1.0 : 0.0}});
     if (write_fails) {
       ++self->exec().result().failures.checkpoint_failures;
       self->charge_failure_pause();

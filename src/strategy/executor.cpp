@@ -6,6 +6,9 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+
 namespace simsweep::strategy {
 
 IterativeExecution::IterativeExecution(
@@ -96,6 +99,15 @@ double IterativeExecution::abort_iteration() {
   // it so makespan always decomposes into startup + iterations + overhead.
   const double lost = simulator_.now() - iter_start_;
   result_.adaptation_overhead_s += lost;
+  if (obs::MetricsRegistry* metrics = simulator_.metrics()) {
+    metrics->add("app.iterations_aborted");
+    metrics->observe("app.iteration_lost_s", lost);
+  }
+  if (obs::TimelineTracer* timeline = simulator_.timeline())
+    timeline->span(timeline->track("app"), "aborted iteration", "app",
+                   iter_start_, simulator_.now(),
+                   {{"iter",
+                     static_cast<double>(result_.iterations_completed)}});
   return lost;
 }
 
@@ -108,14 +120,26 @@ void IterativeExecution::rollback_to_iteration(std::size_t iteration) {
     throw std::invalid_argument(
         "rollback_to_iteration: target beyond completed iterations");
   double lost = 0.0;
+  std::size_t rolled_back = 0;
   while (result_.iterations_completed > iteration) {
     lost += result_.iteration_times_s.back();
     result_.iteration_times_s.pop_back();
     --result_.iterations_completed;
     ++result_.failures.iterations_recomputed;
+    ++rolled_back;
   }
   result_.adaptation_overhead_s += lost;
   result_.failures.time_lost_s += lost;
+  if (obs::MetricsRegistry* metrics = simulator_.metrics()) {
+    metrics->add("app.rollbacks");
+    metrics->add("app.iterations_rolled_back", rolled_back);
+  }
+  if (obs::TimelineTracer* timeline = simulator_.timeline())
+    timeline->instant(timeline->track("app"), "rollback", "app",
+                      simulator_.now(),
+                      {{"to_iteration", static_cast<double>(iteration)},
+                       {"iterations_lost", static_cast<double>(rolled_back)},
+                       {"time_lost_s", lost}});
 }
 
 void IterativeExecution::restart_iteration() {
@@ -162,6 +186,15 @@ void IterativeExecution::iteration_complete() {
                         " measured " + std::to_string(iter_time) + " s");
   result_.iteration_times_s.push_back(iter_time);
   ++result_.iterations_completed;
+  if (obs::MetricsRegistry* metrics = simulator_.metrics()) {
+    metrics->add("app.iterations_completed");
+    metrics->observe("app.iteration_time_s", iter_time);
+  }
+  if (obs::TimelineTracer* timeline = simulator_.timeline())
+    timeline->span(
+        timeline->track("app"), "iteration", "app", iter_start_,
+        simulator_.now(),
+        {{"iter", static_cast<double>(result_.iterations_completed - 1)}});
   if (result_.iterations_completed >= spec_.iterations) {
     done_ = true;
     result_.finished = true;

@@ -2,10 +2,16 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "audit/auditor.hpp"
 #include "strategy/decision_trace.hpp"
+
+namespace simsweep::obs {
+class MetricsRegistry;
+class TimelineTracer;
+}  // namespace simsweep::obs
 
 namespace simsweep::strategy {
 
@@ -97,6 +103,14 @@ struct RunResult {
   /// empty when auditing is off (nothing is checked) or in fail mode (the
   /// first violation throws audit::AuditFailure instead).
   std::vector<audit::Violation> audit_report;
+
+  /// Per-trial metrics registry; null unless the run was launched with
+  /// ExperimentConfig::obs.metrics.  A pure function of (config, seed):
+  /// merging per-trial registries in trial order is --jobs invariant.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+
+  /// Per-trial timeline tracer; null unless obs.timeline was set.
+  std::shared_ptr<obs::TimelineTracer> timeline;
 };
 
 }  // namespace simsweep::strategy

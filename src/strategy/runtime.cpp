@@ -3,6 +3,10 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+#include "swap/planner.hpp"
+
 namespace simsweep::strategy {
 
 double estimate_comm_time(const app::AppSpec& spec,
@@ -86,6 +90,8 @@ void TechniqueRuntime::mark_resource_exhausted() {
   exec_->result().makespan_s = now();
   recovering_ = false;
   transfers_.clear();
+  if (obs::MetricsRegistry* metrics = exec_->simulator().metrics())
+    metrics->add("strategy.resource_exhausted");
   trace_recovery("resource_exhausted", 0);
 }
 
@@ -114,10 +120,14 @@ void TechniqueRuntime::start_faulty_transfer(
         if (on_attempt_failed) on_attempt_failed();
         if (attempt >= self->faults_->spec().max_transfer_retries) {
           ++fs.transfers_abandoned;
+          if (obs::MetricsRegistry* metrics = e.simulator().metrics())
+            metrics->add("strategy.transfers_abandoned");
           done(false);
           return;
         }
         ++fs.transfers_retried;
+        if (obs::MetricsRegistry* metrics = e.simulator().metrics())
+          metrics->add("strategy.transfer_retries");
         const double backoff = self->faults_->retry_backoff(attempt);
         fs.time_lost_s += backoff;
         e.simulator().after(backoff,
@@ -201,6 +211,17 @@ double TechniqueRuntime::audited_pause(const char* kind) {
                     std::string(kind) + " pause of " + std::to_string(pause) +
                         " s (pause clock started at t=" +
                         std::to_string(pause_start_) + ")");
+  if (obs::MetricsRegistry* metrics = exec_->simulator().metrics())
+    metrics->histogram(obs::labelled("strategy.pause_s", "kind", kind))
+        .observe(pause);
+  // A negative pause is an accounting bug the auditor reports above; the
+  // tracer would reject the inverted span, so only well-formed pauses are
+  // drawn.
+  if (pause >= 0.0)
+    if (obs::TimelineTracer* timeline = exec_->simulator().timeline())
+      timeline->span(timeline->track("strategy"),
+                     std::string(kind) + " pause", "strategy", pause_start_,
+                     now());
   return pause;
 }
 
@@ -216,6 +237,27 @@ std::size_t TechniqueRuntime::trace_boundary(const swap::SwapPlan& plan,
                                              double adaptation_cost_s,
                                              std::size_t active_count,
                                              std::size_t spare_count) {
+  // Planner observability is independent of decision tracing: every plan is
+  // counted (with per-reason rejection counters bridging the decision-trace
+  // taxonomy into the metrics snapshot) even when no trace is collected.
+  if (obs::MetricsRegistry* metrics = exec_->simulator().metrics()) {
+    metrics->add("swap.plans");
+    metrics->add("swap.candidates_evaluated", plan.considered.size());
+    metrics->add("swap.swaps_planned", plan.decisions.size());
+    for (const swap::CandidateEvaluation& cand : plan.considered) {
+      if (cand.accepted())
+        metrics->add("swap.candidates_accepted");
+      else
+        metrics->add(obs::labelled("swap.candidates_rejected", "reason",
+                                   swap::to_string(cand.rejection)));
+    }
+  }
+  if (obs::TimelineTracer* timeline = exec_->simulator().timeline())
+    timeline->instant(
+        timeline->track("strategy"), "plan_boundary", "swap", now(),
+        {{"considered", static_cast<double>(plan.considered.size())},
+         {"planned", static_cast<double>(plan.decisions.size())},
+         {"measured_iter_s", measured_iter_time_s}});
   if (!trace_enabled_) return kNoTrace;
   DecisionRecord rec;
   rec.kind = TraceKind::kBoundary;
@@ -241,6 +283,11 @@ void TechniqueRuntime::trace_swaps_applied(std::size_t index,
 
 void TechniqueRuntime::trace_recovery(const char* action,
                                       std::size_t processes) {
+  if (obs::MetricsRegistry* metrics = exec_->simulator().metrics())
+    metrics->add(obs::labelled("strategy.recoveries", "action", action));
+  if (obs::TimelineTracer* timeline = exec_->simulator().timeline())
+    timeline->instant(timeline->track("strategy"), action, "recovery", now(),
+                      {{"processes", static_cast<double>(processes)}});
   if (!trace_enabled_) return;
   DecisionRecord rec;
   rec.kind = TraceKind::kRecovery;

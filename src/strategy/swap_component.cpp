@@ -2,6 +2,7 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "strategy/components.hpp"
 #include "swap/payback.hpp"
 
@@ -60,6 +61,8 @@ void SwapComponent::note_strike(TechniqueRuntime& rt, platform::HostId to) {
   if (!blacklist_.insert(to).second) return;
   std::erase(spares_, to);
   ++rt.exec().result().failures.hosts_blacklisted;
+  if (obs::MetricsRegistry* metrics = rt.exec().simulator().metrics())
+    metrics->add("strategy.hosts_blacklisted");
   rt.trace_recovery("host_blacklisted", 1);
 }
 

@@ -64,6 +64,9 @@ Role SwapContext::swap_point(double measured_iter_time_s) {
   const bool auditing =
       config_.auditor != nullptr && config_.auditor->enabled();
   const std::size_t entry_state_bytes = auditing ? state_bytes() : 0;
+  const bool observing =
+      config_.metrics != nullptr || config_.timeline != nullptr;
+  const double obs_begin = observing ? config_.clock() : 0.0;
   // 1. Every rank reports its probe + iteration time to the manager.
   const Report mine{config_.speed_probe(), measured_iter_time_s};
   std::vector<Report> reports;
@@ -99,6 +102,25 @@ Role SwapContext::swap_point(double measured_iter_time_s) {
   last_events_ = std::move(applied);
   total_swaps_ += last_events_.size();
   if (auditing) audit_swap_point(entry_state_bytes);
+  // Collective-level counters once per swap point (rank 0 speaks for the
+  // collective); the span lands on every rank's own track.
+  if (config_.metrics != nullptr && world_.rank() == 0) {
+    config_.metrics->add("swampi.swap_points");
+    config_.metrics->add("swampi.swaps_applied", last_events_.size());
+    config_.metrics->add(
+        "swampi.state_bytes_moved",
+        static_cast<std::uint64_t>(state_bytes()) *
+            static_cast<std::uint64_t>(last_events_.size()));
+  }
+  if (config_.timeline != nullptr) {
+    simsweep::obs::TimelineTracer& timeline = *config_.timeline;
+    timeline.span(
+        timeline.track("rank " + std::to_string(world_.rank())), "swap_point",
+        "swampi", obs_begin, config_.clock(),
+        {{"planned", static_cast<double>(count)},
+         {"applied", static_cast<double>(last_events_.size())},
+         {"state_bytes", static_cast<double>(state_bytes())}});
+  }
   return role_;
 }
 

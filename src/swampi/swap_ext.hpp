@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "audit/auditor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "swap/payback.hpp"
 #include "swap/perf_history.hpp"
 #include "swap/planner.hpp"
@@ -93,6 +95,19 @@ struct SwapConfig {
   /// the manager's perf histories are audited too.  Null disables all
   /// checks.
   simsweep::audit::InvariantAuditor* auditor = nullptr;
+
+  /// Optional metrics registry (may be shared between ranks — counter
+  /// updates are thread-safe; gauges/histograms are single-writer and must
+  /// not be recorded from rank threads).  Collective-level counters (swap
+  /// points, swaps applied, state bytes moved) are recorded once per swap
+  /// point by world rank 0 so they count events, not rank-calls.  Null
+  /// disables all recording.
+  simsweep::obs::MetricsRegistry* metrics = nullptr;
+
+  /// Optional timeline tracer (shareable like the registry): every rank
+  /// draws its swap_point collective as a span on its own "rank N" track,
+  /// timestamped with `clock`.  Null disables all recording.
+  simsweep::obs::TimelineTracer* timeline = nullptr;
 };
 
 struct Role {

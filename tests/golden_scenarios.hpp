@@ -125,10 +125,12 @@ inline std::unique_ptr<strat::Strategy> make_technique(
 inline strat::RunResult run_cell(
     const std::string& scenario, const std::string& technique,
     std::uint64_t seed,
-    simsweep::audit::AuditMode audit = simsweep::audit::AuditMode::kOff) {
+    simsweep::audit::AuditMode audit = simsweep::audit::AuditMode::kOff,
+    core::ObsConfig obs = {}) {
   auto cfg = config_for(scenario);
   cfg.seed = seed;
   cfg.audit = audit;
+  cfg.obs = obs;
   const auto model = model_for(scenario);
   const auto strategy = make_technique(technique);
   return core::run_single(cfg, *model, *strategy);

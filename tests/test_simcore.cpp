@@ -197,3 +197,37 @@ TEST(TraceRecorder, IntegrateRejectsReversedWindow) {
   EXPECT_THROW((void)sim::integrate_step_series(s, 2.0, 1.0, 0.0),
                std::invalid_argument);
 }
+
+TEST(TraceRecorder, CsvEscapePassesPlainFieldsThrough) {
+  EXPECT_EQ(sim::csv_escape("host0.load"), "host0.load");
+  EXPECT_EQ(sim::csv_escape(""), "");
+}
+
+TEST(TraceRecorder, CsvEscapeQuotesMetacharacters) {
+  // RFC 4180: fields with commas, quotes or newlines are quoted, and inner
+  // quotes double.
+  EXPECT_EQ(sim::csv_escape("load{host=0}, raw"), "\"load{host=0}, raw\"");
+  EXPECT_EQ(sim::csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(sim::csv_escape("a\nb"), "\"a\nb\"");
+  EXPECT_EQ(sim::csv_escape("a\rb"), "\"a\rb\"");
+}
+
+TEST(TraceRecorder, WriteCsvEscapesSeriesName) {
+  sim::TraceRecorder rec;
+  rec.record("speed, effective", 0.0, 1.0);
+  std::ostringstream out;
+  rec.write_csv(out, "speed, effective");
+  // Header must stay two columns: the comma in the name is quoted away.
+  EXPECT_EQ(out.str(), "time,\"speed, effective\"\n0,1\n");
+}
+
+TEST(TraceRecorder, WriteJsonDumpsAllSeriesSorted) {
+  sim::TraceRecorder rec;
+  rec.record("b", 1.0, 2.0);
+  rec.record("a", 0.0, -1.5);
+  rec.record("a", 3.0, 4.0);
+  std::ostringstream out;
+  rec.write_json(out);
+  EXPECT_EQ(out.str(),
+            "{\"series\":{\"a\":[[0,-1.5],[3,4]],\"b\":[[1,2]]}}");
+}
