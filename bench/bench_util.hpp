@@ -20,6 +20,7 @@
 #include "core/trial_runner.hpp"
 #include "load/hyperexp.hpp"
 #include "load/onoff.hpp"
+#include "resilience/watchdog.hpp"
 #include "swap/policy.hpp"
 
 namespace bench {
@@ -97,12 +98,30 @@ inline std::vector<std::vector<core::TrialStats>> run_grid(
     const std::function<core::TrialStats(std::size_t, std::size_t)>& cell) {
   std::vector<std::vector<core::TrialStats>> grid(
       x_count, std::vector<core::TrialStats>(strategy_count));
-  core::TrialRunner::shared().parallel_for(
-      x_count * strategy_count, [&](std::size_t task) {
-        const std::size_t xi = task / strategy_count;
-        const std::size_t si = task % strategy_count;
-        grid[xi][si] = cell(xi, si);
-      });
+  // SIMSWEEP_TRIAL_TIMEOUT (wall-clock seconds per grid cell) arms a
+  // watchdog for the whole bench: a wedged cell turns into a prompt
+  // sim::RunCancelled failure with the cell identified, instead of a CI
+  // job that dies on the harness timeout with no clue which cell hung.
+  std::unique_ptr<simsweep::resilience::Watchdog> watchdog;
+  if (const char* env = std::getenv("SIMSWEEP_TRIAL_TIMEOUT")) {
+    const double timeout_s = std::atof(env);
+    if (timeout_s > 0.0)
+      watchdog = std::make_unique<simsweep::resilience::Watchdog>(timeout_s);
+  }
+  core::TrialRunner& runner = core::TrialRunner::shared();
+  if (watchdog) runner.set_trial_guard(watchdog.get());
+  try {
+    runner.parallel_for(
+        x_count * strategy_count, [&](std::size_t task) {
+          const std::size_t xi = task / strategy_count;
+          const std::size_t si = task % strategy_count;
+          grid[xi][si] = cell(xi, si);
+        });
+  } catch (...) {
+    if (watchdog) runner.set_trial_guard(nullptr);
+    throw;
+  }
+  if (watchdog) runner.set_trial_guard(nullptr);
   return grid;
 }
 

@@ -2,9 +2,11 @@
 """Sanity-check simsweep observability artifacts.
 
 Usage:
-    check_obs_json.py metrics  FILE   # --metrics snapshot
-    check_obs_json.py timeline FILE   # --timeline Chrome trace
-    check_obs_json.py profile  FILE   # captured --profile output
+    check_obs_json.py metrics    FILE   # --metrics snapshot
+    check_obs_json.py timeline   FILE   # --timeline Chrome trace
+    check_obs_json.py profile    FILE   # captured --profile output
+    check_obs_json.py journal    FILE   # sweep --journal JSONL
+    check_obs_json.py quarantine FILE   # sweep --quarantine report
 
 Validates structure, not values: every artifact must parse, carry the shared
 provenance block, and obey its schema (histogram counts arrays one longer
@@ -30,10 +32,15 @@ def require(cond, message):
 
 def check_provenance(meta, where):
     require(isinstance(meta, dict), f"{where}: meta is not an object")
+    # "partial" appears only on artifacts from an interrupted sweep, and
+    # only as the literal true — complete artifacts omit it byte-for-byte.
     require(
-        set(meta) == PROVENANCE_KEYS,
+        set(meta) - {"partial"} == PROVENANCE_KEYS,
         f"{where}: meta keys {sorted(meta)} != {sorted(PROVENANCE_KEYS)}",
     )
+    if "partial" in meta:
+        require(meta["partial"] is True,
+                f"{where}: meta.partial must be the literal true when present")
     require(isinstance(meta["version"], str) and meta["version"],
             f"{where}: meta.version must be a non-empty string")
     require(isinstance(meta["build_type"], str),
@@ -147,6 +154,100 @@ def check_timeline(doc):
     require(phases["X"] + phases["i"] > 0, "timeline: no span/instant events")
 
 
+def check_digest(value, where):
+    require(
+        isinstance(value, str) and len(value) == 16
+        and all(c in "0123456789abcdef" for c in value),
+        f"{where} must be 16 lowercase hex chars",
+    )
+
+
+OUTCOMES = {"ok", "hung", "crashed", "audit-failed"}
+
+STATS_KEYS = {
+    "mean", "stddev", "min", "max", "trials", "unfinished", "stalled",
+    "resource_exhausted", "mean_adaptations", "mean_crashes",
+    "mean_transfer_failures", "mean_recoveries", "mean_checkpoint_failures",
+    "mean_time_lost_s", "audit_violations",
+}
+
+
+def check_journal(text):
+    lines = text.splitlines()
+    require(lines, "journal: file is empty")
+    header = json.loads(lines[0])
+    require(isinstance(header, dict) and header.get("kind") == "sweep-journal",
+            "journal: first line is not a sweep-journal header")
+    require(
+        set(header) == {"kind", "version", "sweep", "seed", "trials",
+                        "points", "cells"},
+        f"journal: header keys {sorted(header)} unexpected",
+    )
+    require(isinstance(header["version"], int) and header["version"] >= 1,
+            "journal: header version must be a positive integer")
+    check_digest(header["sweep"], "journal: header.sweep")
+    cells = header["cells"]
+    require(isinstance(cells, int) and cells >= 1,
+            "journal: header.cells must be a positive integer")
+
+    for i, line in enumerate(lines[1:], start=1):
+        where = f"journal: line {i + 1}"
+        record = json.loads(line)
+        require(isinstance(record, dict) and record.get("kind") == "cell",
+                f"{where}: not a cell record")
+        keys = set(record) - {"metrics", "timeline"}
+        require(
+            keys == {"kind", "index", "key", "seed", "trials", "label",
+                     "outcome", "stats"},
+            f"{where}: cell keys {sorted(record)} unexpected",
+        )
+        require(isinstance(record["index"], int)
+                and 0 <= record["index"] < cells,
+                f"{where}: index outside [0, {cells})")
+        check_digest(record["key"], f"{where}: key")
+        require(record["seed"] == header["seed"],
+                f"{where}: seed differs from header")
+        require(record["trials"] == header["trials"],
+                f"{where}: trials differs from header")
+        require(record["outcome"] in OUTCOMES,
+                f"{where}: unknown outcome {record['outcome']!r}")
+        stats = record["stats"]
+        require(isinstance(stats, dict) and set(stats) == STATS_KEYS,
+                f"{where}: stats keys {sorted(stats)} != {sorted(STATS_KEYS)}")
+        for field in ("metrics", "timeline"):
+            if field in record:
+                require(isinstance(record[field], str) and record[field],
+                        f"{where}: {field} must be a non-empty string")
+
+
+def check_quarantine(doc):
+    require(isinstance(doc, dict), "quarantine: top level is not an object")
+    require(list(doc) == ["meta", "quarantined"],
+            f"quarantine: top-level keys {list(doc)} != ['meta', 'quarantined']")
+    check_provenance(doc["meta"], "quarantine")
+    records = doc["quarantined"]
+    require(isinstance(records, list), "quarantine: quarantined is not a list")
+    expected = {"index", "key", "seed", "trials", "label", "outcome",
+                "attempts", "error"}
+    last_index = -1
+    for i, record in enumerate(records):
+        where = f"quarantine: quarantined[{i}]"
+        require(isinstance(record, dict) and set(record) == expected,
+                f"{where} keys != {sorted(expected)}")
+        require(isinstance(record["index"], int) and record["index"] >= 0,
+                f"{where} index must be a non-negative integer")
+        require(record["index"] > last_index,
+                f"{where} records not in strictly increasing index order")
+        last_index = record["index"]
+        check_digest(record["key"], f"{where} key")
+        require(record["outcome"] in OUTCOMES - {"ok"},
+                f"{where} outcome {record['outcome']!r} not a failure kind")
+        require(isinstance(record["attempts"], int) and record["attempts"] >= 1,
+                f"{where} attempts must be a positive integer")
+        require(isinstance(record["error"], str),
+                f"{where} error must be a string")
+
+
 def check_profile(text):
     lines = [ln for ln in text.splitlines() if ln.startswith("profile:")]
     require(lines, "profile: no 'profile:' lines found")
@@ -165,7 +266,8 @@ def check_profile(text):
 
 
 def main(argv):
-    if len(argv) != 3 or argv[1] not in ("metrics", "timeline", "profile"):
+    kinds = ("metrics", "timeline", "profile", "journal", "quarantine")
+    if len(argv) != 3 or argv[1] not in kinds:
         sys.stderr.write(__doc__)
         return 2
     kind, path = argv[1], argv[2]
@@ -174,9 +276,13 @@ def main(argv):
     try:
         if kind == "profile":
             check_profile(raw)
+        elif kind == "journal":
+            check_journal(raw)
         else:
             doc = json.loads(raw)
-            (check_metrics if kind == "metrics" else check_timeline)(doc)
+            checker = {"metrics": check_metrics, "timeline": check_timeline,
+                       "quarantine": check_quarantine}[kind]
+            checker(doc)
     except CheckFailed as err:
         print(f"check_obs_json: FAIL ({path}): {err}", file=sys.stderr)
         return 1

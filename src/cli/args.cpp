@@ -1,9 +1,44 @@
 #include "cli/args.hpp"
 
+#include <algorithm>
 #include <cstdlib>
+#include <numeric>
 #include <stdexcept>
 
 namespace simsweep::cli {
+
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  // Single-row Wagner–Fischer; flag names are short, so O(|a|·|b|) is fine.
+  std::vector<std::size_t> row(b.size() + 1);
+  std::iota(row.begin(), row.end(), std::size_t{0});
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+    }
+  }
+  return row[b.size()];
+}
+
+std::string suggest_flag(const std::string& unknown,
+                         const std::vector<std::string>& vocabulary) {
+  // Accept a suggestion only when the typo is small relative to the name:
+  // --trails → --trials, but --frobnicate suggests nothing.
+  const std::size_t cap = std::max<std::size_t>(1, unknown.size() / 3);
+  std::string best;
+  std::size_t best_distance = cap + 1;
+  for (const std::string& candidate : vocabulary) {
+    const std::size_t d = edit_distance(unknown, candidate);
+    if (d < best_distance) {
+      best_distance = d;
+      best = candidate;
+    }
+  }
+  return best;
+}
 
 Args::Args(std::vector<std::string> tokens) {
   for (std::size_t i = 0; i < tokens.size(); ++i) {
@@ -28,6 +63,7 @@ Args::Args(std::vector<std::string> tokens) {
 }
 
 std::optional<std::string> Args::raw(const std::string& flag) {
+  queried_.insert(flag);
   const auto it = flags_.find(flag);
   if (it == flags_.end()) return std::nullopt;
   consumed_[flag] = true;
@@ -35,6 +71,7 @@ std::optional<std::string> Args::raw(const std::string& flag) {
 }
 
 bool Args::has(const std::string& flag) const {
+  queried_.insert(flag);
   return flags_.contains(flag);
 }
 
@@ -105,6 +142,10 @@ std::vector<std::string> Args::unused_flags() const {
   for (const auto& [name, used] : consumed_)
     if (!used) out.push_back(name);
   return out;
+}
+
+std::vector<std::string> Args::queried_flags() const {
+  return {queried_.begin(), queried_.end()};
 }
 
 }  // namespace simsweep::cli

@@ -7,10 +7,37 @@
 
 #include <map>
 #include <optional>
+#include <set>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace simsweep::cli {
+
+/// A supplied flag no subcommand getter ever consumed — i.e. a typo.  The
+/// message carries a nearest-match suggestion when one is close enough;
+/// flags() lists the offending names (without "--") for tests and tooling.
+class UnknownFlagError : public std::invalid_argument {
+ public:
+  UnknownFlagError(const std::string& message, std::vector<std::string> flags)
+      : std::invalid_argument(message), flags_(std::move(flags)) {}
+
+  [[nodiscard]] const std::vector<std::string>& flags() const noexcept {
+    return flags_;
+  }
+
+ private:
+  std::vector<std::string> flags_;
+};
+
+/// Levenshtein edit distance (insert/delete/substitute, unit costs).
+[[nodiscard]] std::size_t edit_distance(std::string_view a, std::string_view b);
+
+/// The vocabulary entry closest to `unknown`, or "" when nothing is close
+/// enough to plausibly be a typo (distance capped at ~1/3 of the length).
+[[nodiscard]] std::string suggest_flag(
+    const std::string& unknown, const std::vector<std::string>& vocabulary);
 
 class Args {
  public:
@@ -38,12 +65,17 @@ class Args {
   /// Flags that were supplied but never read; nonempty means a typo.
   [[nodiscard]] std::vector<std::string> unused_flags() const;
 
+  /// Every flag name a getter has asked about so far (whether or not it was
+  /// supplied), sorted — the suggestion vocabulary for unknown-flag errors.
+  [[nodiscard]] std::vector<std::string> queried_flags() const;
+
  private:
   [[nodiscard]] std::optional<std::string> raw(const std::string& flag);
 
   std::map<std::string, std::string> flags_;
   std::map<std::string, bool> consumed_;
   std::vector<std::string> positional_;
+  mutable std::set<std::string> queried_;
 };
 
 }  // namespace simsweep::cli

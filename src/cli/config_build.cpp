@@ -188,9 +188,17 @@ ObsOptions parse_obs_options(Args& args) {
 void reject_unused(const Args& args) {
   const auto unused = args.unused_flags();
   if (unused.empty()) return;
+  // The suggestion vocabulary is exactly the flags this subcommand asked
+  // about, so --trails suggests --trials under `sweep` but not under a
+  // subcommand that has no such flag.
+  const auto vocabulary = args.queried_flags();
   std::string message = "unknown flag(s):";
-  for (const std::string& f : unused) message += " --" + f;
-  throw std::invalid_argument(message);
+  for (const std::string& f : unused) {
+    message += " --" + f;
+    const std::string suggestion = suggest_flag(f, vocabulary);
+    if (!suggestion.empty()) message += " (did you mean '--" + suggestion + "'?)";
+  }
+  throw UnknownFlagError(message, unused);
 }
 
 }  // namespace simsweep::cli

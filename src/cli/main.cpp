@@ -15,12 +15,16 @@
 #include <vector>
 
 #include "cli/config_build.hpp"
+#include "cli/sweep_runner.hpp"
 #include "core/trial_runner.hpp"
 #include "load/onoff.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/timeline.hpp"
 #include "platform/host.hpp"
+#include "resilience/quarantine.hpp"
+#include "resilience/signal.hpp"
+#include "resilience/watchdog.hpp"
 #include "simcore/simulator.hpp"
 #include "strategy/decision_trace.hpp"
 #include "swap/policy.hpp"
@@ -59,18 +63,42 @@ execution/output flags (run, sweep):
              makespans are bitwise identical with auditing on or off.  The
              SIMSWEEP_AUDIT env var applies the same modes suite-wide.
 
-observability flags (run; --profile also: sweep):
+observability flags (run, sweep):
   --metrics=FILE   write a merged metrics snapshot (counters, gauges,
              histograms from every simulation layer) as JSON; identical at
              any --jobs, and makespans are unchanged.  Env fallback:
              SIMSWEEP_METRICS.
   --timeline=FILE  write a Chrome trace-event JSON timeline (load in
-             https://ui.perfetto.dev): one process per trial, one track per
-             host/subsystem, virtual seconds as trace microseconds.  Env
-             fallback: SIMSWEEP_TIMELINE.
+             https://ui.perfetto.dev): one process per trial (sweep: per
+             point x strategy x trial), one track per host/subsystem,
+             virtual seconds as trace microseconds.  Env fallback:
+             SIMSWEEP_TIMELINE.
   --profile  measure the trial engine itself (wall-clock): per-trial
              duration, queue wait, per-worker utilization.  Printed after
              the results (stderr under --json).
+
+resilience flags:
+  --trial-timeout=SECONDS  (run, sweep) wall-clock watchdog per trial (run)
+             or per sweep cell; overdue work is cancelled cooperatively and
+             reported as hung.  0 (default) disables the watchdog.
+  --journal=FILE  (sweep) append each completed cell to a crash-consistent
+             journal (write-temp + fsync + atomic rename); a killed sweep
+             loses at most the in-flight cells.
+  --resume=FILE   (sweep) replay completed cells from a journal instead of
+             re-simulating them; the finished artifacts are byte-identical
+             to an uninterrupted run at any --jobs.  Journaling continues
+             into the same file unless --journal says otherwise.
+  --trial-retries=N  (sweep) extra attempts (capped backoff) before a
+             failed or hung cell is quarantined (default 1)
+  --quarantine=FILE  (sweep) write the quarantine report (config digest,
+             seed, outcome, attempts, error per abandoned cell) as JSON;
+             without it, abandoned cells are summarized on stderr.  The
+             sweep continues degraded either way and exits 0.
+  SIGINT/SIGTERM flush the journal and emit partial artifacts whose
+  provenance meta carries "partial":true; exit code is 130.
+  testing hooks (sweep): --stop-after-cells=N (stop claiming cells after N,
+  a deterministic stand-in for SIGKILL), --inject-fail=I,J / --inject-hang=K
+  (force cell failures to exercise retry and quarantine)
 
 load model flags (run, trace):
   --model=onoff   --dynamism=0.2 | --p=0.3 --q=0.08 [--step=100]
@@ -121,6 +149,7 @@ int cmd_run(cli::Args& args) {
   const auto trials = get_count(args, "trials", 8);
   const auto jobs = get_count(args, "jobs", 0);
   const bool json = args.get_bool("json");
+  const double trial_timeout = args.get_double("trial-timeout", 0.0);
   const std::string trace_path = args.get_string("trace-decisions", "");
   const auto obs_opts = cli::parse_obs_options(args);
   auto cfg = cli::build_config(args);
@@ -135,16 +164,33 @@ int cmd_run(cli::Args& args) {
   core::TrialStats stats;
   simsweep::obs::TrialProfiler profiler;
   const bool need_results = !trace_path.empty() || cfg.obs.any();
-  if (!need_results && !obs_opts.profile) {
+  if (!need_results && !obs_opts.profile && trial_timeout <= 0.0) {
     stats = core::run_trials_parallel(cfg, *model, *strategy, trials, jobs);
   } else {
     // Tracing and observability never touch the simulation, so stats match
     // the plain path bitwise; the per-trial results additionally carry the
     // decision traces / metrics registries / timeline tracers.
     cfg.trace_decisions = !trace_path.empty();
-    const auto results =
-        core::run_trials_results(cfg, *model, *strategy, trials, jobs,
-                                 obs_opts.profile ? &profiler : nullptr);
+    std::vector<strat::RunResult> results;
+    if (trial_timeout > 0.0) {
+      // Watchdog outlives the runner, whose destructor joins the workers.
+      simsweep::resilience::Watchdog watchdog(trial_timeout);
+      core::TrialRunner runner(jobs);
+      runner.set_trial_guard(&watchdog);
+      try {
+        results =
+            core::run_trials_results(cfg, *model, *strategy, trials, runner,
+                                     obs_opts.profile ? &profiler : nullptr);
+      } catch (const simsweep::sim::RunCancelled&) {
+        throw std::runtime_error(
+            "trial hung: exceeded --trial-timeout after " +
+            std::to_string(trial_timeout) + " s of wall-clock time");
+      }
+    } else {
+      results =
+          core::run_trials_results(cfg, *model, *strategy, trials, jobs,
+                                   obs_opts.profile ? &profiler : nullptr);
+    }
     if (!trace_path.empty()) {
       auto out = open_output(trace_path, "trace-decisions");
       for (std::size_t t = 0; t < results.size(); ++t)
@@ -210,75 +256,92 @@ int cmd_run(cli::Args& args) {
   return 0;
 }
 
+/// Comma-separated list of non-negative cell indices (test/CI hooks).
+std::vector<std::size_t> get_index_list(cli::Args& args,
+                                        const std::string& flag) {
+  std::vector<std::size_t> out;
+  for (const double v : args.get_double_list(flag, {})) {
+    if (v < 0.0)
+      throw std::invalid_argument("--" + flag + " indices must be >= 0");
+    out.push_back(static_cast<std::size_t>(v));
+  }
+  return out;
+}
+
 int cmd_sweep(cli::Args& args) {
-  const auto trials = get_count(args, "trials", 8);
-  const auto jobs = get_count(args, "jobs", 0);
+  namespace res = simsweep::resilience;
+  res::arm_interrupt_handlers();
+
+  cli::SweepPlan plan;
+  plan.trials = get_count(args, "trials", 8);
+  plan.jobs = get_count(args, "jobs", 0);
   const bool json = args.get_bool("json");
-  const bool profile = args.get_bool("profile");
-  auto cfg = cli::build_config(args);
-  const std::vector<double> points = args.get_double_list(
+  const auto obs_opts = cli::parse_obs_options(args);
+  plan.metrics = !obs_opts.metrics_path.empty();
+  plan.timeline = !obs_opts.timeline_path.empty();
+  plan.trial_timeout_s = args.get_double("trial-timeout", 0.0);
+  plan.trial_retries = get_count(args, "trial-retries", 1);
+  plan.resume_path = args.get_string("resume", "");
+  // --resume without --journal keeps journaling into the resumed file, so
+  // a twice-interrupted sweep still resumes from its full history.
+  plan.journal_path = args.get_string("journal", plan.resume_path);
+  const std::string quarantine_path = args.get_string("quarantine", "");
+  plan.hooks.stop_after_cells = get_count(args, "stop-after-cells", 0);
+  plan.hooks.inject_fail = get_index_list(args, "inject-fail");
+  plan.hooks.inject_hang = get_index_list(args, "inject-hang");
+  plan.config = cli::build_config(args);
+  plan.points = args.get_double_list(
       "points", {0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.8, 1.0});
   cli::reject_unused(args);
 
-  core::SeriesReport report;
-  report.title = "sweep: techniques vs ON/OFF dynamism";
-  report.x_label = "load_probability";
-  report.x = points;
-  std::vector<std::unique_ptr<strat::Strategy>> lineup;
-  lineup.push_back(std::make_unique<strat::NoneStrategy>());
-  lineup.push_back(
-      std::make_unique<strat::SwapStrategy>(simsweep::swap::greedy_policy()));
-  lineup.push_back(std::make_unique<strat::DlbStrategy>());
-  lineup.push_back(
-      std::make_unique<strat::CrStrategy>(simsweep::swap::greedy_policy()));
-  for (const auto& s : lineup) report.series.push_back({s->name(), {}, {}});
-
-  // The sweep's shape inputs beyond the config: the dynamism grid (each
-  // point becomes an ON/OFF model) and the strategy lineup.
-  std::string extra = "sweep;model=onoff;points=";
-  for (const double x : points) {
-    extra += simsweep::load::describe_number(x);
-    extra += ',';
-  }
-  extra += ";strategies=";
-  for (const auto& s : lineup) {
-    extra += s->name();
-    extra += '|';
-  }
-  const simsweep::obs::Provenance prov = core::make_run_provenance(cfg, extra);
-
-  // Whole sweep cells (point × strategy) fan out over the pool; each cell
-  // writes to a fixed index, so the report is order-independent.
-  core::TrialRunner runner(jobs);
   simsweep::obs::TrialProfiler profiler;
-  if (profile) runner.set_profiler(&profiler);
-  std::vector<std::vector<core::TrialStats>> grid(
-      points.size(), std::vector<core::TrialStats>(lineup.size()));
-  runner.parallel_for(
-      points.size() * lineup.size(), [&](std::size_t task) {
-        const std::size_t xi = task / lineup.size();
-        const std::size_t si = task % lineup.size();
-        const simsweep::load::OnOffModel model(
-            simsweep::load::OnOffParams::dynamism(points[xi]));
-        grid[xi][si] = core::run_trials(cfg, model, *lineup[si], trials);
-      });
-  for (std::size_t xi = 0; xi < points.size(); ++xi) {
-    for (std::size_t si = 0; si < lineup.size(); ++si) {
-      report.series[si].y.push_back(grid[xi][si].mean);
-      report.series[si].adaptations.push_back(grid[xi][si].mean_adaptations);
-    }
+  if (obs_opts.profile) plan.profiler = &profiler;
+
+  const cli::SweepResult result = cli::run_sweep(plan);
+
+  if (result.cells_reused > 0)
+    std::fprintf(stderr, "sweep: resumed %zu of %zu cell(s) from '%s'\n",
+                 result.cells_reused, result.cells_total,
+                 plan.resume_path.c_str());
+  for (const auto& record : result.quarantined)
+    std::fprintf(stderr,
+                 "sweep: quarantined cell %zu (%s): %s after %zu attempt(s): "
+                 "%s\n",
+                 record.index, record.label.c_str(),
+                 std::string(res::to_string(record.outcome)).c_str(),
+                 record.attempts, record.error.c_str());
+  if (!quarantine_path.empty()) {
+    auto out = open_output(quarantine_path, "quarantine");
+    res::write_quarantine_json(out, result.quarantined, &result.provenance);
   }
+  if (plan.metrics) {
+    auto out = open_output(obs_opts.metrics_path, "metrics");
+    out << result.metrics_json;
+  }
+  if (plan.timeline) {
+    auto out = open_output(obs_opts.timeline_path, "timeline");
+    out << result.timeline_json;
+  }
+  if (result.partial)
+    std::fprintf(stderr,
+                 "sweep: interrupted — %zu cell(s) not run; artifacts are "
+                 "partial (provenance carries \"partial\":true), resume with "
+                 "--resume=%s\n",
+                 result.cells_skipped,
+                 plan.journal_path.empty() ? "JOURNAL"
+                                           : plan.journal_path.c_str());
+
   if (json) {
-    report.print_json(std::cout, &prov);
+    result.report.print_json(std::cout, &result.provenance);
     std::cout << '\n';
-    if (profile) profiler.print(std::cerr);
-    return 0;
+    if (obs_opts.profile) profiler.print(std::cerr);
+  } else {
+    result.report.print_table(std::cout);
+    std::cout << "\n";
+    result.report.print_csv(std::cout);
+    if (obs_opts.profile) profiler.print(std::cout);
   }
-  report.print_table(std::cout);
-  std::cout << "\n";
-  report.print_csv(std::cout);
-  if (profile) profiler.print(std::cout);
-  return 0;
+  return res::interrupted() ? 130 : 0;
 }
 
 int cmd_trace(cli::Args& args) {

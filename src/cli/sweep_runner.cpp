@@ -1,0 +1,515 @@
+#include "cli/sweep_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "audit/auditor.hpp"
+#include "core/trial_runner.hpp"
+#include "load/onoff.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+#include "resilience/journal.hpp"
+#include "resilience/json_read.hpp"
+#include "resilience/signal.hpp"
+#include "resilience/watchdog.hpp"
+#include "simcore/simulator.hpp"
+#include "strategy/strategy.hpp"
+#include "swap/policy.hpp"
+
+namespace simsweep::cli {
+
+namespace {
+
+using resilience::JsonValue;
+using resilience::TrialOutcomeKind;
+
+constexpr std::uint64_t kJournalVersion = 1;
+
+/// The sweep's shape inputs beyond the config — kept byte-identical to the
+/// pre-resilience sweep so provenance digests stay stable across versions.
+std::string sweep_extra(
+    const std::vector<double>& points,
+    const std::vector<std::unique_ptr<strategy::Strategy>>& lineup) {
+  std::string extra = "sweep;model=onoff;points=";
+  for (const double x : points) {
+    extra += load::describe_number(x);
+    extra += ',';
+  }
+  extra += ";strategies=";
+  for (const auto& s : lineup) {
+    extra += s->name();
+    extra += '|';
+  }
+  return extra;
+}
+
+/// Digest input identifying one cell; journal records are keyed by its
+/// config_digest so a resumed journal can prove each record still describes
+/// the same simulation.
+std::string cell_extra(double point, const std::string& strategy_name,
+                       std::size_t trials) {
+  return "cell;model=onoff;point=" + load::describe_number(point) +
+         ";strategy=" + strategy_name + ";trials=" + std::to_string(trials);
+}
+
+void write_stats_json(std::ostream& os, const core::TrialStats& s) {
+  os << "{\"mean\":";
+  obs::write_json_number(os, s.mean);
+  os << ",\"stddev\":";
+  obs::write_json_number(os, s.stddev);
+  os << ",\"min\":";
+  obs::write_json_number(os, s.min);
+  os << ",\"max\":";
+  obs::write_json_number(os, s.max);
+  os << ",\"trials\":";
+  obs::write_json_number(os, static_cast<std::uint64_t>(s.trials));
+  os << ",\"unfinished\":";
+  obs::write_json_number(os, static_cast<std::uint64_t>(s.unfinished));
+  os << ",\"stalled\":";
+  obs::write_json_number(os, static_cast<std::uint64_t>(s.stalled));
+  os << ",\"resource_exhausted\":";
+  obs::write_json_number(os,
+                         static_cast<std::uint64_t>(s.resource_exhausted));
+  os << ",\"mean_adaptations\":";
+  obs::write_json_number(os, s.mean_adaptations);
+  os << ",\"mean_crashes\":";
+  obs::write_json_number(os, s.mean_crashes);
+  os << ",\"mean_transfer_failures\":";
+  obs::write_json_number(os, s.mean_transfer_failures);
+  os << ",\"mean_recoveries\":";
+  obs::write_json_number(os, s.mean_recoveries);
+  os << ",\"mean_checkpoint_failures\":";
+  obs::write_json_number(os, s.mean_checkpoint_failures);
+  os << ",\"mean_time_lost_s\":";
+  obs::write_json_number(os, s.mean_time_lost_s);
+  os << ",\"audit_violations\":";
+  obs::write_json_number(os, static_cast<std::uint64_t>(s.audit_violations));
+  os << '}';
+}
+
+/// Inverse of write_stats_json.  Exact: every double was emitted shortest
+/// round-trip and is re-read with from_chars.
+core::TrialStats parse_stats(const JsonValue& v) {
+  core::TrialStats s;
+  s.mean = v.at("mean").as_double();
+  s.stddev = v.at("stddev").as_double();
+  s.min = v.at("min").as_double();
+  s.max = v.at("max").as_double();
+  s.trials = v.at("trials").as_size();
+  s.unfinished = v.at("unfinished").as_size();
+  s.stalled = v.at("stalled").as_size();
+  s.resource_exhausted = v.at("resource_exhausted").as_size();
+  s.mean_adaptations = v.at("mean_adaptations").as_double();
+  s.mean_crashes = v.at("mean_crashes").as_double();
+  s.mean_transfer_failures = v.at("mean_transfer_failures").as_double();
+  s.mean_recoveries = v.at("mean_recoveries").as_double();
+  s.mean_checkpoint_failures = v.at("mean_checkpoint_failures").as_double();
+  s.mean_time_lost_s = v.at("mean_time_lost_s").as_double();
+  s.audit_violations = v.at("audit_violations").as_size();
+  return s;
+}
+
+/// Rebuilds a registry from its own write_json output.  Merge-into-empty
+/// adopts snapshot values verbatim (counters add, gauges/histograms copy
+/// min/max/sum exactly), so the rebuilt registry's snapshot is bitwise the
+/// original — the salvage path cannot drift from the live path.
+std::unique_ptr<obs::MetricsRegistry> registry_from_json(const JsonValue& v) {
+  auto registry = std::make_unique<obs::MetricsRegistry>();
+  for (const auto& [name, value] : v.at("counters").object)
+    registry->counter(name).add(value.as_uint64());
+  for (const auto& [name, value] : v.at("gauges").object) {
+    obs::Gauge::Snapshot snap;
+    snap.last = value.at("last").as_double();
+    snap.min = value.at("min").as_double();
+    snap.max = value.at("max").as_double();
+    registry->gauge(name).merge(snap);
+  }
+  for (const auto& [name, value] : v.at("histograms").object) {
+    obs::Histogram::Snapshot snap;
+    for (const JsonValue& b : value.at("bounds").as_array())
+      snap.bounds.push_back(b.as_double());
+    for (const JsonValue& c : value.at("counts").as_array())
+      snap.counts.push_back(c.as_uint64());
+    snap.count = value.at("count").as_uint64();
+    snap.sum = value.at("sum").as_double();
+    snap.min = value.at("min").as_double();
+    snap.max = value.at("max").as_double();
+    registry->histogram(name, snap.bounds).merge(snap);
+  }
+  return registry;
+}
+
+/// Per-cell state, filled either by simulation or by journal replay; the
+/// final artifacts read only this, in index order, so both sources are
+/// interchangeable byte-for-byte.
+struct CellData {
+  bool done = false;
+  core::TrialStats stats;
+  std::string metrics_json;   ///< registry snapshot (no meta)
+  std::string timeline_json;  ///< traceEvents fragment (pids pre-assigned)
+  std::string raw_line;       ///< journal record, adopted verbatim on resume
+};
+
+std::string header_line(const obs::Provenance& prov, std::size_t trials,
+                        std::size_t points, std::size_t cells) {
+  std::ostringstream os;
+  os << "{\"kind\":\"sweep-journal\",\"version\":";
+  obs::write_json_number(os, kJournalVersion);
+  os << ",\"sweep\":";
+  obs::write_json_string(os, prov.config_digest);
+  os << ",\"seed\":";
+  obs::write_json_number(os, prov.seed);
+  os << ",\"trials\":";
+  obs::write_json_number(os, static_cast<std::uint64_t>(trials));
+  os << ",\"points\":";
+  obs::write_json_number(os, static_cast<std::uint64_t>(points));
+  os << ",\"cells\":";
+  obs::write_json_number(os, static_cast<std::uint64_t>(cells));
+  os << '}';
+  return os.str();
+}
+
+std::string cell_record_line(std::size_t index, const std::string& key,
+                             const obs::Provenance& prov, std::size_t trials,
+                             const std::string& label, const CellData& data,
+                             bool with_metrics, bool with_timeline) {
+  std::ostringstream os;
+  os << "{\"kind\":\"cell\",\"index\":";
+  obs::write_json_number(os, static_cast<std::uint64_t>(index));
+  os << ",\"key\":";
+  obs::write_json_string(os, key);
+  os << ",\"seed\":";
+  obs::write_json_number(os, prov.seed);
+  os << ",\"trials\":";
+  obs::write_json_number(os, static_cast<std::uint64_t>(trials));
+  os << ",\"label\":";
+  obs::write_json_string(os, label);
+  os << ",\"outcome\":\"ok\",\"stats\":";
+  write_stats_json(os, data.stats);
+  if (with_metrics) {
+    os << ",\"metrics\":";
+    obs::write_json_string(os, data.metrics_json);
+  }
+  if (with_timeline) {
+    os << ",\"timeline\":";
+    obs::write_json_string(os, data.timeline_json);
+  }
+  os << '}';
+  return os.str();
+}
+
+[[noreturn]] void resume_mismatch(const std::string& what) {
+  throw std::runtime_error(
+      "sweep --resume: journal does not match this sweep (" + what +
+      "); delete the journal or rerun the original command line");
+}
+
+void validate_header(const JsonValue& header, const obs::Provenance& prov,
+                     std::size_t trials, std::size_t cells) {
+  const JsonValue* kind = header.find("kind");
+  if (kind == nullptr || kind->as_string() != "sweep-journal")
+    resume_mismatch("not a sweep journal");
+  if (header.at("version").as_uint64() != kJournalVersion)
+    resume_mismatch("journal version " +
+                    std::to_string(header.at("version").as_uint64()));
+  if (header.at("sweep").as_string() != prov.config_digest)
+    resume_mismatch("config digest " + header.at("sweep").as_string() +
+                    " vs " + prov.config_digest);
+  if (header.at("seed").as_uint64() != prov.seed)
+    resume_mismatch("seed mismatch");
+  if (header.at("trials").as_size() != trials)
+    resume_mismatch("trials mismatch");
+  if (header.at("cells").as_size() != cells)
+    resume_mismatch("cell count mismatch");
+}
+
+}  // namespace
+
+SweepResult run_sweep(const SweepPlan& plan) {
+  if (plan.points.empty())
+    throw std::invalid_argument("sweep: empty --points grid");
+  if (plan.trials == 0) throw std::invalid_argument("sweep: zero --trials");
+  if (!plan.hooks.inject_hang.empty() && plan.trial_timeout_s <= 0.0)
+    throw std::invalid_argument(
+        "sweep: hang injection requires --trial-timeout");
+
+  std::vector<std::unique_ptr<strategy::Strategy>> lineup;
+  lineup.push_back(std::make_unique<strategy::NoneStrategy>());
+  lineup.push_back(
+      std::make_unique<strategy::SwapStrategy>(swap::greedy_policy()));
+  lineup.push_back(std::make_unique<strategy::DlbStrategy>());
+  lineup.push_back(
+      std::make_unique<strategy::CrStrategy>(swap::greedy_policy()));
+
+  const std::size_t total = plan.points.size() * lineup.size();
+  const obs::Provenance base_prov =
+      core::make_run_provenance(plan.config, sweep_extra(plan.points, lineup));
+
+  core::ExperimentConfig cfg = plan.config;
+  cfg.obs.metrics = plan.metrics;
+  cfg.obs.timeline = plan.timeline;
+
+  std::vector<std::string> keys(total), labels(total);
+  for (std::size_t index = 0; index < total; ++index) {
+    const double point = plan.points[index / lineup.size()];
+    const std::string& name = lineup[index % lineup.size()]->name();
+    keys[index] =
+        core::config_digest(cfg, cell_extra(point, name, plan.trials));
+    labels[index] = "x=" + load::describe_number(point) + " strategy=" + name;
+  }
+
+  std::vector<CellData> cells(total);
+  std::size_t reused = 0;
+
+  if (!plan.resume_path.empty()) {
+    const auto records = resilience::read_journal(plan.resume_path);
+    if (!records.empty()) {
+      validate_header(records.front().value, base_prov, plan.trials, total);
+      // Last record per index wins: a cell that was re-executed (e.g. a
+      // previous resume needed metrics the old record lacked) appends a
+      // fresh, complete record after the stale one.
+      std::vector<const resilience::JournalLine*> by_index(total, nullptr);
+      for (std::size_t r = 1; r < records.size(); ++r) {
+        const JsonValue& v = records[r].value;
+        const JsonValue* kind = v.find("kind");
+        if (kind == nullptr || kind->as_string() != "cell") continue;
+        const std::size_t index = v.at("index").as_size();
+        if (index >= total)
+          resume_mismatch("cell index " + std::to_string(index) +
+                          " out of range");
+        by_index[index] = &records[r];
+      }
+      for (std::size_t index = 0; index < total; ++index) {
+        const resilience::JournalLine* line = by_index[index];
+        if (line == nullptr) continue;
+        const JsonValue& v = line->value;
+        if (v.at("key").as_string() != keys[index])
+          resume_mismatch("cell " + std::to_string(index) +
+                          " key mismatch despite matching header");
+        if (v.at("outcome").as_string() != "ok") continue;
+        const JsonValue* metrics = v.find("metrics");
+        const JsonValue* timeline = v.find("timeline");
+        // A record is only reusable when it stored everything this run
+        // needs; otherwise the cell silently re-executes.
+        if (plan.metrics && metrics == nullptr) continue;
+        if (plan.timeline && timeline == nullptr) continue;
+        CellData& cell = cells[index];
+        cell.stats = parse_stats(v.at("stats"));
+        if (metrics != nullptr) cell.metrics_json = metrics->as_string();
+        if (timeline != nullptr) cell.timeline_json = timeline->as_string();
+        cell.raw_line = line->raw;
+        cell.done = true;
+        ++reused;
+      }
+    }
+  }
+
+  // Publish the journal (header + replayed records) before simulating, so
+  // even an immediately-killed sweep leaves a valid, resumable file.
+  std::unique_ptr<resilience::JournalWriter> journal;
+  if (!plan.journal_path.empty()) {
+    journal =
+        std::make_unique<resilience::JournalWriter>(plan.journal_path);
+    journal->append(header_line(base_prov, plan.trials, plan.points.size(),
+                                total),
+                    /*flush_now=*/false);
+    for (const CellData& cell : cells)
+      if (cell.done) journal->append(cell.raw_line, /*flush_now=*/false);
+    journal->flush();
+  }
+
+  // Watchdog before runner: the runner's destructor joins its workers while
+  // the guard must still be alive.
+  std::unique_ptr<resilience::Watchdog> watchdog;
+  if (plan.trial_timeout_s > 0.0)
+    watchdog = std::make_unique<resilience::Watchdog>(plan.trial_timeout_s);
+  core::TrialRunner runner(plan.jobs);
+  if (watchdog) runner.set_trial_guard(watchdog.get());
+  if (plan.profiler != nullptr) runner.set_profiler(plan.profiler);
+
+  std::atomic<std::size_t> executed{0};
+  std::atomic<std::size_t> skipped{0};
+  std::mutex quarantine_mutex;
+  std::vector<resilience::QuarantineRecord> quarantined;
+
+  const auto stop_requested = [&plan, &executed]() -> bool {
+    if (plan.hooks.interrupted ? plan.hooks.interrupted()
+                               : resilience::interrupted())
+      return true;
+    return plan.hooks.stop_after_cells != 0 &&
+           executed.load(std::memory_order_relaxed) >=
+               plan.hooks.stop_after_cells;
+  };
+  const auto injected = [](const std::vector<std::size_t>& list,
+                           std::size_t index) {
+    return std::find(list.begin(), list.end(), index) != list.end();
+  };
+
+  runner.parallel_for(total, [&](std::size_t index) {
+    if (cells[index].done) return;  // replayed from the journal
+    if (stop_requested()) {
+      skipped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    const std::size_t xi = index / lineup.size();
+    const std::size_t si = index % lineup.size();
+    const load::OnOffModel model(
+        load::OnOffParams::dynamism(plan.points[xi]));
+
+    TrialOutcomeKind outcome = TrialOutcomeKind::kCrashed;
+    std::string error;
+    std::size_t attempts = 0;
+    for (;;) {
+      ++attempts;
+      try {
+        if (injected(plan.hooks.inject_fail, index))
+          throw std::runtime_error("injected failure (inject_fail hook)");
+        if (injected(plan.hooks.inject_hang, index)) {
+          const std::atomic<bool>* flag =
+              core::TrialRunner::current_cancel_flag();
+          if (flag == nullptr)
+            throw std::runtime_error("inject_hang: no cancel flag published");
+          while (!flag->load(std::memory_order_relaxed))
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          throw sim::RunCancelled();
+        }
+        // Trials run serially inside the cell (cells are the parallel
+        // unit); the watchdog flag published for this cell reaches every
+        // trial's simulator through the runner's thread-local.
+        const auto results = core::run_trials_results(
+            cfg, model, *lineup[si], plan.trials, /*jobs=*/1);
+        CellData data;
+        data.stats = core::reduce_trials(results);
+        if (plan.metrics) {
+          const auto merged = core::merge_trial_metrics(results);
+          std::ostringstream os;
+          merged->write_json(os);
+          data.metrics_json = os.str();
+        }
+        if (plan.timeline) {
+          std::vector<obs::TimelineTracer::Process> processes;
+          for (std::size_t t = 0; t < results.size(); ++t)
+            processes.push_back({labels[index] + " trial " + std::to_string(t),
+                                 results[t].timeline.get()});
+          std::ostringstream os;
+          obs::TimelineTracer::write_chrome_fragment(
+              os, processes,
+              static_cast<std::uint32_t>(index * plan.trials + 1));
+          data.timeline_json = os.str();
+        }
+        data.raw_line =
+            cell_record_line(index, keys[index], base_prov, plan.trials,
+                             labels[index], data, plan.metrics, plan.timeline);
+        data.done = true;
+        cells[index] = std::move(data);
+        executed.fetch_add(1, std::memory_order_relaxed);
+        if (journal) journal->append(cells[index].raw_line);
+        return;
+      } catch (const audit::AuditFailure& e) {
+        outcome = TrialOutcomeKind::kAuditFailed;
+        error = e.what();
+      } catch (const sim::RunCancelled& e) {
+        outcome = TrialOutcomeKind::kHung;
+        error = e.what();
+      } catch (const std::exception& e) {
+        // A watchdog cancellation can surface as a foreign exception when
+        // the strategy wraps it; the fired record disambiguates.
+        outcome = (watchdog != nullptr && watchdog->fired(index))
+                      ? TrialOutcomeKind::kHung
+                      : TrialOutcomeKind::kCrashed;
+        error = e.what();
+      }
+      if (attempts > plan.trial_retries) break;
+      if (plan.retry_backoff_s > 0.0) {
+        const double backoff_s = std::min(
+            plan.retry_backoff_s * std::pow(2.0, double(attempts - 1)), 1.0);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(backoff_s));
+      }
+      if (watchdog) watchdog->rearm(index);  // fresh deadline per attempt
+    }
+    {
+      const std::lock_guard<std::mutex> lock(quarantine_mutex);
+      quarantined.push_back({index, keys[index], base_prov.seed, plan.trials,
+                             labels[index], outcome, attempts, error});
+    }
+    executed.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  SweepResult result;
+  result.cells_total = total;
+  result.cells_reused = reused;
+  result.cells_executed = executed.load();
+  result.cells_skipped = skipped.load();
+  std::sort(quarantined.begin(), quarantined.end(),
+            [](const resilience::QuarantineRecord& a,
+               const resilience::QuarantineRecord& b) {
+              return a.index < b.index;
+            });
+  result.quarantined = std::move(quarantined);
+
+  std::vector<bool> in_quarantine(total, false);
+  for (const auto& record : result.quarantined)
+    in_quarantine[record.index] = true;
+  for (std::size_t index = 0; index < total; ++index)
+    if (!cells[index].done && !in_quarantine[index]) result.partial = true;
+
+  result.provenance = base_prov;
+  result.provenance.partial = result.partial;
+
+  result.report.title = "sweep: techniques vs ON/OFF dynamism";
+  result.report.x_label = "load_probability";
+  result.report.x = plan.points;
+  for (const auto& s : lineup) result.report.series.push_back({s->name(), {}, {}});
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (std::size_t xi = 0; xi < plan.points.size(); ++xi) {
+    for (std::size_t si = 0; si < lineup.size(); ++si) {
+      const CellData& cell = cells[xi * lineup.size() + si];
+      result.report.series[si].y.push_back(cell.done ? cell.stats.mean : nan);
+      result.report.series[si].adaptations.push_back(
+          cell.done ? cell.stats.mean_adaptations : nan);
+    }
+  }
+
+  if (plan.metrics) {
+    obs::MetricsRegistry merged;
+    for (const CellData& cell : cells)
+      if (cell.done && !cell.metrics_json.empty())
+        merged.merge_from(
+            *registry_from_json(resilience::parse_json(cell.metrics_json)));
+    std::ostringstream os;
+    merged.write_json(os, &result.provenance);
+    os << '\n';
+    result.metrics_json = os.str();
+  }
+
+  if (plan.timeline) {
+    std::ostringstream os;
+    os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"meta\":";
+    result.provenance.write_json(os);
+    os << "},\"traceEvents\":[";
+    bool first = true;
+    for (const CellData& cell : cells) {
+      if (!cell.done || cell.timeline_json.empty()) continue;
+      if (!first) os << ',';
+      first = false;
+      os << cell.timeline_json;
+    }
+    os << "]}\n";
+    result.timeline_json = os.str();
+  }
+
+  return result;
+}
+
+}  // namespace simsweep::cli

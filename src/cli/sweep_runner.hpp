@@ -1,0 +1,107 @@
+// Crash-safe, resumable sweep orchestration.
+//
+// `simsweep sweep` compares every technique across a dynamism grid; one
+// pathological cell (point × strategy) used to cost the whole grid.  This
+// runner makes the sweep an interruptible, resumable unit of work:
+//
+//   * every completed cell appends one self-contained record to a
+//     crash-consistent journal (resilience::JournalWriter), carrying its
+//     stats and — when requested — its serialized metrics snapshot and
+//     timeline fragment;
+//   * `--resume=FILE` replays matching records instead of re-simulating,
+//     and the final artifacts are assembled from per-cell canonical data in
+//     cell-index order either way, so an interrupted-then-resumed sweep is
+//     byte-identical to an uninterrupted one at any --jobs;
+//   * a wall-clock watchdog (resilience::Watchdog) cancels cells that
+//     exceed --trial-timeout cooperatively, failed/hung cells retry with
+//     capped backoff, and cells that exhaust the budget land in a
+//     quarantine report while the sweep continues degraded;
+//   * SIGINT/SIGTERM (or the deterministic stop_after_cells test hook)
+//     stop claiming new cells, flush the journal, and mark every artifact's
+//     provenance "partial":true.
+//
+// Factored out of main() so tests can drive interruption, resumption and
+// fault injection in-process and compare artifact bytes directly.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "obs/provenance.hpp"
+#include "resilience/quarantine.hpp"
+
+namespace simsweep::cli {
+
+/// Test/CI hooks; all inert by default.
+struct SweepHooks {
+  /// Stop claiming new cells once this many have been executed (not
+  /// reused) in this process — a deterministic stand-in for SIGKILL in
+  /// resume-identity tests.  0 = no limit.
+  std::size_t stop_after_cells = 0;
+
+  /// Cell indices whose every attempt throws (exercises retry exhaustion
+  /// and the quarantine path).
+  std::vector<std::size_t> inject_fail;
+
+  /// Cell indices whose every attempt spins until the watchdog cancels it
+  /// (exercises the hung-outcome path; requires trial_timeout_s > 0).
+  std::vector<std::size_t> inject_hang;
+
+  /// Polled before each cell; true stops the sweep gracefully.  Defaults
+  /// to resilience::interrupted() (the SIGINT/SIGTERM flag).
+  std::function<bool()> interrupted;
+};
+
+struct SweepPlan {
+  core::ExperimentConfig config;
+  std::vector<double> points;  ///< ON/OFF dynamism grid (x axis)
+  std::size_t trials = 8;      ///< trials per cell
+  std::size_t jobs = 0;        ///< cell-level parallelism; 0 = default
+
+  bool metrics = false;   ///< collect + merge per-cell metrics registries
+  bool timeline = false;  ///< collect + splice per-cell timeline fragments
+
+  double trial_timeout_s = 0.0;   ///< wall-clock budget per cell; 0 = off
+  std::size_t trial_retries = 1;  ///< extra attempts before quarantine
+  double retry_backoff_s = 0.1;   ///< first backoff; doubles, capped at 1 s
+
+  std::string journal_path;  ///< write the journal here; "" = no journal
+  std::string resume_path;   ///< replay this journal first; "" = fresh run
+
+  /// Optional wall-clock profiler attached to the cell runner (one entry
+  /// per executed cell).  Must outlive run_sweep.
+  obs::TrialProfiler* profiler = nullptr;
+
+  SweepHooks hooks;
+};
+
+struct SweepResult {
+  core::SeriesReport report;  ///< quarantined/skipped cells hold NaN
+  obs::Provenance provenance;  ///< partial flag already set
+
+  /// Complete artifact bodies (trailing newline included); empty unless the
+  /// corresponding plan switch was set.  Assembled from per-cell canonical
+  /// data in cell-index order, so they are identical for a fresh and a
+  /// resumed sweep.
+  std::string metrics_json;
+  std::string timeline_json;
+
+  std::vector<resilience::QuarantineRecord> quarantined;  ///< index order
+
+  std::size_t cells_total = 0;
+  std::size_t cells_reused = 0;    ///< replayed from the resume journal
+  std::size_t cells_executed = 0;  ///< simulated in this process
+  std::size_t cells_skipped = 0;   ///< unclaimed due to interrupt/stop hook
+  bool partial = false;            ///< some cell neither done nor quarantined
+};
+
+/// Runs (or resumes) the sweep described by `plan`.  Throws
+/// std::runtime_error when the resume journal belongs to a different sweep
+/// or is internally inconsistent, and std::invalid_argument on a malformed
+/// plan (empty points, zero trials, hang injection without a watchdog).
+[[nodiscard]] SweepResult run_sweep(const SweepPlan& plan);
+
+}  // namespace simsweep::cli

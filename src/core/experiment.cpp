@@ -147,6 +147,11 @@ strategy::RunResult run_single(const ExperimentConfig& config,
   sim::Simulator simulator;
   if (auditor.enabled()) simulator.set_auditor(&auditor);
   simulator.set_event_budget(config.max_events);
+  // When this trial runs under a guarded TrialRunner (a wall-clock watchdog
+  // attached via set_trial_guard), let the watchdog interrupt the event loop
+  // cooperatively: the simulator throws sim::RunCancelled at the next event
+  // once the flag is raised.  Null outside a guarded scope — free then.
+  simulator.set_cancel_flag(TrialRunner::current_cancel_flag());
   // Observability collectors attach before any subsystem is built so every
   // instrumentation site sees them from the first event.  Like the auditor
   // they only read simulation state: an observed run is bitwise identical
@@ -339,6 +344,14 @@ std::vector<strategy::RunResult> run_trials_results_impl(
 }
 
 }  // namespace
+
+std::vector<strategy::RunResult> run_trials_results(
+    ExperimentConfig config, const load::LoadModel& model,
+    strategy::Strategy& strategy, std::size_t trials, TrialRunner& runner,
+    obs::TrialProfiler* profiler) {
+  return run_trials_results_impl(std::move(config), model, strategy, trials,
+                                 &runner, profiler);
+}
 
 std::vector<strategy::RunResult> run_trials_results(
     ExperimentConfig config, const load::LoadModel& model,

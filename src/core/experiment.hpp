@@ -22,6 +22,8 @@
 
 namespace simsweep::core {
 
+class TrialRunner;
+
 /// Per-run observability switches.  Both collectors only *read* simulation
 /// state, so an observed run is bitwise identical to a plain one.
 struct ObsConfig {
@@ -173,6 +175,14 @@ struct TrialStats {
 [[nodiscard]] std::vector<strategy::RunResult> run_trials_results(
     ExperimentConfig config, const load::LoadModel& model,
     strategy::Strategy& strategy, std::size_t trials, std::size_t jobs = 1,
+    obs::TrialProfiler* profiler = nullptr);
+
+/// run_trials_results on a caller-owned runner, so the caller can attach a
+/// profiler and/or a trial guard (wall-clock watchdog) of its own before
+/// fanning out.  Trials are still seeded and reduced in trial order.
+[[nodiscard]] std::vector<strategy::RunResult> run_trials_results(
+    ExperimentConfig config, const load::LoadModel& model,
+    strategy::Strategy& strategy, std::size_t trials, TrialRunner& runner,
     obs::TrialProfiler* profiler = nullptr);
 
 /// Folds the per-trial metrics registries of `results` into one snapshot,

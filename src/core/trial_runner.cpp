@@ -5,6 +5,19 @@
 
 namespace simsweep::core {
 
+namespace {
+
+/// Cancellation flag of the guarded item running on this thread.  Saved and
+/// restored around each body so nested parallel_for calls (a bench cell
+/// fanning out trials) see their own innermost guarded scope.
+thread_local const std::atomic<bool>* t_cancel_flag = nullptr;
+
+}  // namespace
+
+const std::atomic<bool>* TrialRunner::current_cancel_flag() noexcept {
+  return t_cancel_flag;
+}
+
 TrialRunner::TrialRunner(std::size_t parallelism) {
   if (parallelism == 0) parallelism = default_parallelism();
   workers_.reserve(parallelism - 1);
@@ -39,11 +52,18 @@ void TrialRunner::run_one(Batch& batch, std::size_t i,
                           std::size_t worker_id) {
   obs::TrialProfiler* profiler = profiler_.load(std::memory_order_relaxed);
   const double begin_s = profiler != nullptr ? profiler->now() : 0.0;
+  TrialGuard* guard = guard_.load(std::memory_order_relaxed);
+  const std::atomic<bool>* outer_flag = t_cancel_flag;
+  if (guard != nullptr) t_cancel_flag = guard->trial_begin(i);
   std::exception_ptr error;
   try {
     (*batch.body)(i);
   } catch (...) {
     error = std::current_exception();
+  }
+  if (guard != nullptr) {
+    guard->trial_end(i);
+    t_cancel_flag = outer_flag;
   }
   if (profiler != nullptr)
     profiler->record(i, worker_id, batch.submitted_s, begin_s,

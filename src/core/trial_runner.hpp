@@ -27,6 +27,26 @@
 
 namespace simsweep::core {
 
+/// Observes every work item a TrialRunner executes, from the executing
+/// thread itself.  The resilience layer's wall-clock watchdog implements
+/// this: trial_begin registers the item and hands back a cancellation flag,
+/// trial_end retires it.  Implementations must tolerate concurrent calls for
+/// distinct indices (one per worker) and begin/end pairs for the same index
+/// across retries.
+class TrialGuard {
+ public:
+  virtual ~TrialGuard() = default;
+
+  /// Called right before body(index) on the thread about to run it.  The
+  /// returned flag (null = not cancellable) is published to the body via
+  /// TrialRunner::current_cancel_flag() and must stay valid until the
+  /// matching trial_end.
+  virtual const std::atomic<bool>* trial_begin(std::size_t index) = 0;
+
+  /// Called after body(index) returned or threw, on the same thread.
+  virtual void trial_end(std::size_t index) noexcept = 0;
+};
+
 class TrialRunner {
  public:
   /// A runner with `parallelism` concurrent executors (the calling thread
@@ -68,6 +88,22 @@ class TrialRunner {
     profiler_.store(profiler, std::memory_order_relaxed);
   }
 
+  /// Attaches a trial guard (see TrialGuard): every body invocation is
+  /// bracketed by trial_begin/trial_end on the executing thread, and the
+  /// flag returned by trial_begin is exposed through current_cancel_flag()
+  /// for the duration of the call.  Null (the default) disables the hook;
+  /// like the profiler, the hot path is one relaxed atomic load.  The guard
+  /// must outlive its attachment.
+  void set_trial_guard(TrialGuard* guard) noexcept {
+    guard_.store(guard, std::memory_order_relaxed);
+  }
+
+  /// Cancellation flag of the guarded work item currently executing on this
+  /// thread, or null outside one (or when no guard is attached).  Trial
+  /// bodies hand it to sim::Simulator::set_cancel_flag so a wall-clock
+  /// watchdog can interrupt the event loop cooperatively.
+  [[nodiscard]] static const std::atomic<bool>* current_cancel_flag() noexcept;
+
  private:
   /// One parallel_for call: a range of indices claimed one at a time under
   /// the pool mutex.  Lives on the caller's stack for the duration of the
@@ -94,6 +130,7 @@ class TrialRunner {
   std::deque<Batch*> queue_;
   std::vector<std::thread> workers_;
   std::atomic<obs::TrialProfiler*> profiler_{nullptr};
+  std::atomic<TrialGuard*> guard_{nullptr};
   bool stop_ = false;
 };
 

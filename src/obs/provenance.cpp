@@ -23,6 +23,7 @@ void Provenance::write_json(std::ostream& os) const {
   write_json_number(os, seed);
   os << ",\"config_digest\":";
   write_json_string(os, config_digest);
+  if (partial) os << ",\"partial\":true";
   os << '}';
 }
 

@@ -20,8 +20,15 @@ struct Provenance {
   std::uint64_t seed = 0;  // root seed of the run
   std::string config_digest;  // hex FNV-1a over the serialized config
 
+  /// True when the artifact covers only part of the run — an interrupted
+  /// sweep flushed what it had (journal salvage) instead of finishing.
+  /// Consumers must not diff a partial artifact against a complete one.
+  bool partial = false;
+
   /// Writes the {"version":...,"build_type":...,"seed":...,
-  /// "config_digest":...} object (no trailing newline).
+  /// "config_digest":...} object (no trailing newline).  A "partial":true
+  /// member is appended only when `partial` is set, so complete artifacts
+  /// are byte-for-byte what they were before the flag existed.
   void write_json(std::ostream& os) const;
 };
 

@@ -142,8 +142,15 @@ void TimelineTracer::write_chrome_json(std::ostream& os,
     os << '}';
   }
   os << ",\"traceEvents\":[";
+  write_chrome_fragment(os, processes, 1);
+  os << "]}\n";
+}
+
+bool TimelineTracer::write_chrome_fragment(std::ostream& os,
+                                           const std::vector<Process>& processes,
+                                           std::uint32_t first_pid) {
   bool first = true;
-  std::uint32_t pid = 0;
+  std::uint32_t pid = first_pid - 1;
   for (const Process& process : processes) {
     ++pid;
     if (process.tracer == nullptr) continue;
@@ -161,7 +168,7 @@ void TimelineTracer::write_chrome_json(std::ostream& os,
       write_event(os, e, pid);
     }
   }
-  os << "]}\n";
+  return !first;
 }
 
 }  // namespace simsweep::obs

@@ -85,6 +85,18 @@ class TimelineTracer {
                                 const std::vector<Process>& processes,
                                 const Provenance* meta = nullptr);
 
+  /// Writes only the comma-joined traceEvents array *elements* for
+  /// `processes`, with pids assigned sequentially from `first_pid` (no
+  /// leading/trailing comma, no enclosing brackets).  Returns whether
+  /// anything was written (null tracers are skipped but still consume a
+  /// pid).  This is the salvage primitive behind resumable sweeps: a cell
+  /// serializes its slice once, the journal stores the string, and a
+  /// resumed sweep splices it back verbatim — byte-identical by
+  /// construction.
+  static bool write_chrome_fragment(std::ostream& os,
+                                    const std::vector<Process>& processes,
+                                    std::uint32_t first_pid);
+
  private:
   mutable std::mutex mutex_;
   std::vector<std::string> tracks_;

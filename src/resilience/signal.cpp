@@ -1,0 +1,26 @@
+#include "resilience/signal.hpp"
+
+#include <csignal>
+
+namespace simsweep::resilience {
+
+namespace {
+
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void on_signal(int /*signum*/) { g_interrupted = 1; }
+
+}  // namespace
+
+void arm_interrupt_handlers() {
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+}
+
+bool interrupted() noexcept { return g_interrupted != 0; }
+
+void clear_interrupted() noexcept { g_interrupted = 0; }
+
+void simulate_interrupt() noexcept { g_interrupted = 1; }
+
+}  // namespace simsweep::resilience

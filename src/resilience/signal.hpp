@@ -1,0 +1,26 @@
+// Cooperative SIGINT/SIGTERM handling for sweeps.
+//
+// The handler only flips a sig_atomic_t; the sweep loop polls interrupted()
+// between cells, flushes the journal, and emits partial artifacts marked
+// "partial":true.  A second Ctrl-C therefore still kills the process the
+// default way if the graceful path wedges (the handler is one-shot per
+// signal number only in effect, not installation — it stays armed, but the
+// loop exits on the first observation).
+#pragma once
+
+namespace simsweep::resilience {
+
+/// Installs SIGINT and SIGTERM handlers that set the interrupted flag.
+/// Idempotent; safe to call once at the top of a command.
+void arm_interrupt_handlers();
+
+/// True once SIGINT or SIGTERM has been received since the last clear.
+[[nodiscard]] bool interrupted() noexcept;
+
+/// Resets the flag (tests drive the interrupt path in-process).
+void clear_interrupted() noexcept;
+
+/// Test hook: sets the flag exactly as the signal handler would.
+void simulate_interrupt() noexcept;
+
+}  // namespace simsweep::resilience

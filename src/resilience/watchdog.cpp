@@ -1,0 +1,86 @@
+#include "resilience/watchdog.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace simsweep::resilience {
+
+namespace {
+
+/// Monitor tick: a fraction of the deadline, clamped so short deadlines
+/// still fire promptly and long ones don't spin the thread.
+std::chrono::steady_clock::duration tick_for(double deadline_s) {
+  const double tick_s = std::clamp(deadline_s / 20.0, 0.001, 0.25);
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(tick_s));
+}
+
+}  // namespace
+
+Watchdog::Watchdog(double deadline_s)
+    : deadline_s_(deadline_s), tick_(tick_for(deadline_s)) {
+  if (!std::isfinite(deadline_s) || deadline_s <= 0.0)
+    throw std::invalid_argument("Watchdog: deadline must be positive");
+  monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+Watchdog::~Watchdog() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  monitor_.join();
+}
+
+const std::atomic<bool>* Watchdog::trial_begin(std::size_t index) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = active_[index];
+  entry.start = std::chrono::steady_clock::now();
+  entry.flag = std::make_unique<std::atomic<bool>>(false);
+  return entry.flag.get();
+}
+
+void Watchdog::trial_end(std::size_t index) noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  active_.erase(index);
+}
+
+bool Watchdog::fired(std::size_t index) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return fired_.count(index) != 0;
+}
+
+void Watchdog::clear_fired(std::size_t index) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  fired_.erase(index);
+}
+
+void Watchdog::rearm(std::size_t index) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  fired_.erase(index);
+  const auto it = active_.find(index);
+  if (it == active_.end()) return;
+  it->second.start = std::chrono::steady_clock::now();
+  it->second.flag->store(false, std::memory_order_relaxed);
+}
+
+void Watchdog::monitor_loop() {
+  const auto deadline = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(deadline_s_));
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    cv_.wait_for(lock, tick_, [this] { return stop_; });
+    if (stop_) return;
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& [index, entry] : active_) {
+      if (now - entry.start >= deadline &&
+          !entry.flag->exchange(true, std::memory_order_relaxed))
+        fired_.insert(index);
+    }
+  }
+}
+
+}  // namespace simsweep::resilience

@@ -1,0 +1,76 @@
+// Per-trial wall-clock watchdog.
+//
+// The simulator is deterministic in *virtual* time, but a buggy strategy or
+// an injected fault can spin forever in *wall* time.  The watchdog plugs
+// into core::TrialRunner as a TrialGuard: every trial gets a fresh cancel
+// flag at trial_begin(), a monitor thread scans active trials on a short
+// tick, and any trial past the deadline has its flag set — the simulator's
+// event loop observes it and throws sim::RunCancelled, unwinding the trial
+// cooperatively (no thread killing, destructors run, ASan stays happy).
+//
+// fired(i) records which indices the watchdog cancelled, so callers can
+// classify the resulting exception as "hung" (deadline) rather than
+// "crashed" (the trial's own fault).  clear_fired(i) resets an index before
+// a retry attempt.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/trial_runner.hpp"
+
+namespace simsweep::resilience {
+
+class Watchdog final : public core::TrialGuard {
+ public:
+  /// Starts the monitor thread.  `deadline_s` is the wall-clock budget per
+  /// trial; must be positive and finite.
+  explicit Watchdog(double deadline_s);
+  ~Watchdog() override;
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  // core::TrialGuard
+  const std::atomic<bool>* trial_begin(std::size_t index) override;
+  void trial_end(std::size_t index) noexcept override;
+
+  /// True when the watchdog cancelled trial `index` (its deadline passed
+  /// while it was active).  Sticky until clear_fired() or rearm().
+  [[nodiscard]] bool fired(std::size_t index) const;
+  void clear_fired(std::size_t index);
+
+  /// Restarts `index`'s deadline and resets its still-published cancel flag
+  /// — called between retry attempts while the guard bracket stays open.
+  /// No-op when the index is not active.
+  void rearm(std::size_t index);
+
+  [[nodiscard]] double deadline_s() const noexcept { return deadline_s_; }
+
+ private:
+  struct Entry {
+    std::chrono::steady_clock::time_point start;
+    std::unique_ptr<std::atomic<bool>> flag;
+  };
+
+  void monitor_loop();
+
+  double deadline_s_;
+  std::chrono::steady_clock::duration tick_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::unordered_map<std::size_t, Entry> active_;
+  std::unordered_set<std::size_t> fired_;
+  std::thread monitor_;
+};
+
+}  // namespace simsweep::resilience

@@ -6,6 +6,7 @@
 // horizon is reached, or a model calls stop().
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -27,6 +28,17 @@ class EventBudgetExceeded : public std::runtime_error {
   explicit EventBudgetExceeded(std::uint64_t budget)
       : std::runtime_error("Simulator: event budget exceeded (" +
                            std::to_string(budget) + " events fired)") {}
+};
+
+/// Thrown by run_until() when an attached cancellation flag was raised —
+/// typically a wall-clock watchdog marking the trial hung.  The event budget
+/// bounds *virtual* time; the cancel flag is the cooperative escape hatch for
+/// *wall-clock* deadlines, checked once per fired event.
+class RunCancelled : public std::runtime_error {
+ public:
+  RunCancelled()
+      : std::runtime_error(
+            "Simulator: run cancelled (wall-clock deadline exceeded)") {}
 };
 
 class Simulator {
@@ -111,6 +123,15 @@ class Simulator {
   /// disables the guard.
   void set_event_budget(std::uint64_t budget) noexcept { budget_ = budget; }
 
+  /// Attaches (or detaches, with nullptr) a cooperative cancellation flag.
+  /// run_until() throws RunCancelled before firing the next event once the
+  /// flag reads true.  The flag is owned by the caller (a watchdog) and only
+  /// ever flips false -> true, so a relaxed load per event is enough; an
+  /// attached-but-never-raised flag leaves the run bitwise identical.
+  void set_cancel_flag(const std::atomic<bool>* flag) noexcept {
+    cancel_ = flag;
+  }
+
   /// Runs until `horizon` (events at exactly the horizon still fire).
   /// Advances now() to the horizon when it is finite and the queue drained
   /// earlier, so time-based observers see a consistent clock.
@@ -118,6 +139,8 @@ class Simulator {
     stopped_ = false;
     while (!stopped_ && !queue_.empty() && queue_.next_time() <= horizon) {
       if (budget_ != 0 && fired_ >= budget_) throw EventBudgetExceeded(budget_);
+      if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed))
+        throw RunCancelled();
       auto [t, cb] = queue_.pop();
       if (auditor_ != nullptr && auditor_->enabled()) audit_pop(t);
       // size_bound() is an upper bound (buried cancelled entries count),
@@ -169,6 +192,7 @@ class Simulator {
   std::uint64_t fired_ = 0;
   std::uint64_t budget_ = 0;  // 0 = unlimited
   bool stopped_ = false;
+  const std::atomic<bool>* cancel_ = nullptr;
   audit::InvariantAuditor* auditor_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::TimelineTracer* timeline_ = nullptr;

@@ -56,6 +56,52 @@ TEST(Args, UnusedFlagsAreReported) {
   EXPECT_THROW(cli::reject_unused(args), std::invalid_argument);
 }
 
+TEST(Args, EditDistanceMatchesKnownCases) {
+  EXPECT_EQ(cli::edit_distance("", ""), 0u);
+  EXPECT_EQ(cli::edit_distance("abc", "abc"), 0u);
+  EXPECT_EQ(cli::edit_distance("abc", ""), 3u);
+  EXPECT_EQ(cli::edit_distance("kitten", "sitting"), 3u);
+  EXPECT_EQ(cli::edit_distance("trails", "trials"), 2u);  // transposition
+  EXPECT_EQ(cli::edit_distance("jobs", "job"), 1u);
+}
+
+TEST(Args, SuggestFlagPicksNearestOrNothing) {
+  const std::vector<std::string> vocab{"trials", "points", "jobs", "seed"};
+  EXPECT_EQ(cli::suggest_flag("trails", vocab), "trials");
+  EXPECT_EQ(cli::suggest_flag("point", vocab), "points");
+  // Nothing plausibly close: stay silent rather than mislead.
+  EXPECT_EQ(cli::suggest_flag("frobnicate", vocab), "");
+  EXPECT_EQ(cli::suggest_flag("x", {}), "");
+}
+
+TEST(Args, UnknownFlagErrorCarriesSuggestion) {
+  cli::Args args({"--trails=3", "--seed=1"});
+  (void)args.get_int("trials", 8);  // the getter builds the vocabulary
+  (void)args.get_int("seed", 1);
+  try {
+    cli::reject_unused(args);
+    FAIL() << "reject_unused should have thrown";
+  } catch (const cli::UnknownFlagError& e) {
+    EXPECT_EQ(e.flags(), (std::vector<std::string>{"trails"}));
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--trails"), std::string::npos);
+    EXPECT_NE(what.find("did you mean '--trials'?"), std::string::npos);
+  }
+}
+
+TEST(Args, UnknownFlagWithoutNearMatchHasNoSuggestion) {
+  cli::Args args({"--frobnicate=3"});
+  (void)args.get_int("trials", 8);
+  try {
+    cli::reject_unused(args);
+    FAIL() << "reject_unused should have thrown";
+  } catch (const cli::UnknownFlagError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--frobnicate"), std::string::npos);
+    EXPECT_EQ(what.find("did you mean"), std::string::npos);
+  }
+}
+
 TEST(Args, BooleanValueForms) {
   cli::Args args({"--a=true", "--b=false", "--c=1", "--d=0"});
   EXPECT_TRUE(args.get_bool("a"));

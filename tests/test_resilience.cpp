@@ -1,0 +1,496 @@
+// Tests for the resilience layer: the JSON reader the journal rests on,
+// crash-consistent journal publication, the wall-clock watchdog, cooperative
+// simulator cancellation, and the resumable sweep runner's headline
+// guarantee — an interrupted-then-resumed sweep is byte-identical to an
+// uninterrupted one at any --jobs.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "app/app_spec.hpp"
+#include "cli/sweep_runner.hpp"
+#include "core/experiment.hpp"
+#include "core/trial_runner.hpp"
+#include "obs/provenance.hpp"
+#include "resilience/journal.hpp"
+#include "resilience/json_read.hpp"
+#include "resilience/quarantine.hpp"
+#include "resilience/signal.hpp"
+#include "resilience/watchdog.hpp"
+#include "simcore/simulator.hpp"
+
+namespace {
+
+namespace app = simsweep::app;
+namespace cli = simsweep::cli;
+namespace core = simsweep::core;
+namespace res = simsweep::resilience;
+namespace sim = simsweep::sim;
+
+/// A unique path under the system temp dir; removed (with any .tmp sibling)
+/// when the fixture object dies, so tests cannot observe each other's files.
+class TempPath {
+ public:
+  explicit TempPath(const std::string& stem) {
+    static std::atomic<unsigned> counter{0};
+    path_ = (std::filesystem::temp_directory_path() /
+             ("simsweep_" + stem + "_" + std::to_string(::getpid()) + "_" +
+              std::to_string(counter.fetch_add(1))))
+                .string();
+  }
+  ~TempPath() {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+    std::filesystem::remove(path_ + ".tmp", ec);
+  }
+  [[nodiscard]] const std::string& str() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// ---------------------------------------------------------------------------
+// JSON reader
+
+TEST(JsonRead, ParsesScalarsAndContainers) {
+  const auto v = res::parse_json(
+      R"({"b":true,"n":null,"s":"hi","a":[1,2],"o":{"k":-3.5}})");
+  EXPECT_TRUE(v.at("b").as_bool());
+  EXPECT_TRUE(v.at("n").is_null());
+  EXPECT_EQ(v.at("s").as_string(), "hi");
+  ASSERT_EQ(v.at("a").as_array().size(), 2u);
+  EXPECT_EQ(v.at("a").as_array()[1].as_uint64(), 2u);
+  EXPECT_DOUBLE_EQ(v.at("o").at("k").as_double(), -3.5);
+}
+
+TEST(JsonRead, Uint64RoundTripsFullRange) {
+  const auto v = res::parse_json("18446744073709551615");
+  EXPECT_EQ(v.as_uint64(), 18446744073709551615ULL);
+}
+
+TEST(JsonRead, DoubleRoundTripsBitwise) {
+  // The journal stores shortest-form doubles from std::to_chars; reading the
+  // token back must reproduce the exact bits, not a nearby value.
+  const double original = 0.1 + 0.2;  // 0.30000000000000004
+  const auto v = res::parse_json("0.30000000000000004");
+  EXPECT_EQ(v.as_double(), original);
+  EXPECT_EQ(res::parse_json("1e-320").as_double(), 1e-320);  // subnormal
+}
+
+TEST(JsonRead, DecodesSurrogatePairs) {
+  const auto v = res::parse_json(R"("😀")");
+  EXPECT_EQ(v.as_string(), "\xF0\x9F\x98\x80");  // U+1F600
+}
+
+TEST(JsonRead, RejectsMalformedInput) {
+  EXPECT_THROW((void)res::parse_json("{"), res::JsonError);
+  EXPECT_THROW((void)res::parse_json("{} trailing"), res::JsonError);
+  EXPECT_THROW((void)res::parse_json(R"({"k":01})"), res::JsonError);
+  EXPECT_THROW((void)res::parse_json("1."), res::JsonError);
+  EXPECT_THROW((void)res::parse_json("1e"), res::JsonError);
+  EXPECT_THROW((void)res::parse_json("-5").as_uint64(), res::JsonError);
+  EXPECT_THROW((void)res::parse_json("\"x\"").as_double(), res::JsonError);
+}
+
+TEST(JsonRead, FindAndAtBehaveOnMissingKeys) {
+  const auto v = res::parse_json(R"({"present":1})");
+  EXPECT_EQ(v.find("absent"), nullptr);
+  EXPECT_NE(v.find("present"), nullptr);
+  EXPECT_THROW((void)v.at("absent"), res::JsonError);
+}
+
+// ---------------------------------------------------------------------------
+// Journal
+
+TEST(Journal, WriteReadRoundTrip) {
+  TempPath tmp("journal_roundtrip");
+  res::JournalWriter writer(tmp.str());
+  writer.append(R"({"kind":"header","version":1})");
+  writer.append(R"({"kind":"cell","index":0})");
+  EXPECT_EQ(writer.record_count(), 2u);
+
+  const auto lines = res::read_journal(tmp.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].raw, R"({"kind":"header","version":1})");
+  EXPECT_EQ(lines[1].value.at("index").as_uint64(), 0u);
+}
+
+TEST(Journal, MissingFileReadsEmpty) {
+  EXPECT_TRUE(res::read_journal("/nonexistent/simsweep/journal").empty());
+}
+
+TEST(Journal, StopsAtTornTail) {
+  TempPath tmp("journal_torn");
+  res::JournalWriter writer(tmp.str());
+  writer.append(R"({"index":0})");
+  writer.append(R"({"index":1})");
+  {
+    std::ofstream out(tmp.str(), std::ios::app | std::ios::binary);
+    out << "{\"index\":2,\"trunc";  // a torn final write
+  }
+  const auto lines = res::read_journal(tmp.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1].value.at("index").as_uint64(), 1u);
+}
+
+TEST(Journal, FlushLeavesNoTempFile) {
+  TempPath tmp("journal_tmpfile");
+  res::JournalWriter writer(tmp.str());
+  writer.append(R"({"index":0})");
+  EXPECT_TRUE(std::filesystem::exists(tmp.str()));
+  EXPECT_FALSE(std::filesystem::exists(tmp.str() + ".tmp"));
+}
+
+TEST(Journal, DeferredAppendPublishesOnFlush) {
+  TempPath tmp("journal_deferred");
+  res::JournalWriter writer(tmp.str());
+  writer.append(R"({"index":0})", /*flush_now=*/false);
+  EXPECT_FALSE(std::filesystem::exists(tmp.str()));
+  writer.flush();
+  EXPECT_EQ(res::read_journal(tmp.str()).size(), 1u);
+}
+
+TEST(Journal, RejectsEmbeddedNewline) {
+  TempPath tmp("journal_newline");
+  res::JournalWriter writer(tmp.str());
+  EXPECT_THROW(writer.append("{}\n{}"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog + cooperative cancellation
+
+TEST(Watchdog, RejectsNonPositiveDeadline) {
+  EXPECT_THROW(res::Watchdog w(0.0), std::invalid_argument);
+  EXPECT_THROW(res::Watchdog w(-1.0), std::invalid_argument);
+}
+
+TEST(Watchdog, FiresPastDeadlineAndStaysQuietUnderIt) {
+  res::Watchdog watchdog(0.05);
+  core::TrialRunner runner(1);
+  runner.set_trial_guard(&watchdog);
+  runner.parallel_for(2, [&](std::size_t i) {
+    const std::atomic<bool>* flag = core::TrialRunner::current_cancel_flag();
+    ASSERT_NE(flag, nullptr);
+    EXPECT_FALSE(flag->load());
+    if (i == 0) {
+      // Simulate a wedged trial: spin until the watchdog cancels us.
+      while (!flag->load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  runner.set_trial_guard(nullptr);
+  EXPECT_TRUE(watchdog.fired(0));
+  EXPECT_FALSE(watchdog.fired(1));
+  watchdog.clear_fired(0);
+  EXPECT_FALSE(watchdog.fired(0));
+}
+
+TEST(Watchdog, RearmResetsDeadlineAndFlagInPlace) {
+  res::Watchdog watchdog(0.05);
+  core::TrialRunner runner(1);
+  runner.set_trial_guard(&watchdog);
+  runner.parallel_for(1, [&](std::size_t) {
+    const std::atomic<bool>* flag = core::TrialRunner::current_cancel_flag();
+    ASSERT_NE(flag, nullptr);
+    while (!flag->load())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_TRUE(watchdog.fired(0));
+    // A retry attempt rearms the same published flag object.
+    watchdog.rearm(0);
+    EXPECT_FALSE(flag->load());
+    EXPECT_FALSE(watchdog.fired(0));
+    while (!flag->load())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  runner.set_trial_guard(nullptr);
+  EXPECT_TRUE(watchdog.fired(0));
+}
+
+TEST(Simulator, CancelFlagThrowsRunCancelled) {
+  sim::Simulator simulator;
+  std::atomic<bool> cancel{true};
+  simulator.set_cancel_flag(&cancel);
+  simulator.at(1.0, [] {});
+  EXPECT_THROW(simulator.run(), sim::RunCancelled);
+}
+
+TEST(Simulator, UnraisedCancelFlagChangesNothing) {
+  std::size_t fired_plain = 0;
+  std::size_t fired_flagged = 0;
+  {
+    sim::Simulator simulator;
+    simulator.at(1.0, [&] { ++fired_plain; });
+    simulator.run();
+  }
+  {
+    sim::Simulator simulator;
+    std::atomic<bool> cancel{false};
+    simulator.set_cancel_flag(&cancel);
+    simulator.at(1.0, [&] { ++fired_flagged; });
+    simulator.run();
+  }
+  EXPECT_EQ(fired_plain, fired_flagged);
+}
+
+// ---------------------------------------------------------------------------
+// Quarantine report
+
+TEST(Quarantine, OutcomeNamesAreStable) {
+  EXPECT_EQ(res::to_string(res::TrialOutcomeKind::kOk), "ok");
+  EXPECT_EQ(res::to_string(res::TrialOutcomeKind::kHung), "hung");
+  EXPECT_EQ(res::to_string(res::TrialOutcomeKind::kCrashed), "crashed");
+  EXPECT_EQ(res::to_string(res::TrialOutcomeKind::kAuditFailed),
+            "audit-failed");
+}
+
+TEST(Quarantine, ReportIsValidJsonWithAllFields) {
+  std::vector<res::QuarantineRecord> records(1);
+  records[0].index = 3;
+  records[0].key = "abc123";
+  records[0].seed = 7;
+  records[0].trials = 2;
+  records[0].label = "x=0.3 strategy=SWAP";
+  records[0].outcome = res::TrialOutcomeKind::kHung;
+  records[0].attempts = 2;
+  records[0].error = "trial hung";
+  std::ostringstream os;
+  res::write_quarantine_json(os, records);
+
+  const auto v = res::parse_json(os.str());
+  const auto& entries = v.at("quarantined").as_array();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].at("index").as_size(), 3u);
+  EXPECT_EQ(entries[0].at("key").as_string(), "abc123");
+  EXPECT_EQ(entries[0].at("seed").as_uint64(), 7u);
+  EXPECT_EQ(entries[0].at("outcome").as_string(), "hung");
+  EXPECT_EQ(entries[0].at("attempts").as_size(), 2u);
+  EXPECT_EQ(entries[0].at("error").as_string(), "trial hung");
+}
+
+// ---------------------------------------------------------------------------
+// Signals
+
+TEST(Signal, SimulateAndClearInterrupt) {
+  res::arm_interrupt_handlers();
+  res::arm_interrupt_handlers();  // idempotent
+  res::clear_interrupted();
+  EXPECT_FALSE(res::interrupted());
+  res::simulate_interrupt();
+  EXPECT_TRUE(res::interrupted());
+  res::clear_interrupted();
+  EXPECT_FALSE(res::interrupted());
+}
+
+// ---------------------------------------------------------------------------
+// Sweep runner: resume identity, quarantine, partial artifacts
+
+/// A small but non-trivial sweep: 2 points x 4 strategies = 8 cells.
+cli::SweepPlan small_plan() {
+  cli::SweepPlan plan;
+  plan.config.cluster.host_count = 8;
+  plan.config.app = app::AppSpec::with_iteration_minutes(4, 10, 2.0);
+  plan.config.spare_count = 4;
+  plan.config.seed = 1;
+  plan.points = {0.0, 0.3};
+  plan.trials = 2;
+  plan.jobs = 1;
+  plan.hooks.interrupted = [] { return false; };
+  return plan;
+}
+
+std::string report_json(const cli::SweepResult& result) {
+  std::ostringstream os;
+  result.report.print_json(os, &result.provenance);
+  return os.str();
+}
+
+/// The headline guarantee: run to completion; separately run with a
+/// simulated crash after `stop_after` cells, then resume from the journal at
+/// `resume_jobs` — every artifact must be byte-identical.
+void expect_resume_identity(std::size_t stop_after, std::size_t resume_jobs) {
+  cli::SweepPlan plan = small_plan();
+  plan.metrics = true;
+  plan.timeline = true;
+
+  const cli::SweepResult full = cli::run_sweep(plan);
+  EXPECT_FALSE(full.partial);
+  EXPECT_EQ(full.cells_total, 8u);
+  EXPECT_EQ(full.cells_executed, 8u);
+
+  TempPath journal("resume_identity");
+  cli::SweepPlan interrupted = plan;
+  interrupted.journal_path = journal.str();
+  interrupted.hooks.stop_after_cells = stop_after;
+  const cli::SweepResult partial = cli::run_sweep(interrupted);
+  EXPECT_TRUE(partial.partial);
+  EXPECT_TRUE(partial.provenance.partial);
+  EXPECT_EQ(partial.cells_executed, stop_after);
+  EXPECT_EQ(partial.cells_skipped, 8u - stop_after);
+  EXPECT_NE(report_json(partial).find("\"partial\":true"), std::string::npos);
+
+  // Journal on disk: header + one record per completed cell.
+  EXPECT_EQ(res::read_journal(journal.str()).size(), 1u + stop_after);
+
+  cli::SweepPlan resumed = plan;
+  resumed.jobs = resume_jobs;
+  resumed.journal_path = journal.str();
+  resumed.resume_path = journal.str();
+  const cli::SweepResult second = cli::run_sweep(resumed);
+  EXPECT_FALSE(second.partial);
+  EXPECT_EQ(second.cells_reused, stop_after);
+  EXPECT_EQ(second.cells_executed, 8u - stop_after);
+
+  EXPECT_EQ(report_json(full), report_json(second));
+  EXPECT_EQ(full.metrics_json, second.metrics_json);
+  EXPECT_EQ(full.timeline_json, second.timeline_json);
+}
+
+TEST(SweepResume, ByteIdenticalAtJobs1) { expect_resume_identity(3, 1); }
+
+TEST(SweepResume, ByteIdenticalAtJobs4) { expect_resume_identity(5, 4); }
+
+TEST(SweepResume, CompletedJournalResumesWithNoWork) {
+  TempPath journal("resume_complete");
+  cli::SweepPlan plan = small_plan();
+  plan.journal_path = journal.str();
+  const cli::SweepResult first = cli::run_sweep(plan);
+
+  plan.resume_path = journal.str();
+  const cli::SweepResult second = cli::run_sweep(plan);
+  EXPECT_EQ(second.cells_reused, 8u);
+  EXPECT_EQ(second.cells_executed, 0u);
+  EXPECT_EQ(report_json(first), report_json(second));
+}
+
+TEST(SweepResume, MismatchedJournalIsRejected) {
+  TempPath journal("resume_mismatch");
+  cli::SweepPlan plan = small_plan();
+  plan.journal_path = journal.str();
+  (void)cli::run_sweep(plan);
+
+  cli::SweepPlan other = plan;
+  other.resume_path = journal.str();
+  other.config.seed = 2;  // different sweep, same journal
+  EXPECT_THROW((void)cli::run_sweep(other), std::runtime_error);
+}
+
+TEST(SweepResume, JournalWithoutMetricsCannotSeedMetricsRun) {
+  // A journal recorded without --metrics lacks the per-cell snapshots a
+  // metrics-producing resume needs; those cells must re-execute.
+  TempPath journal("resume_nometrics");
+  cli::SweepPlan plan = small_plan();
+  plan.journal_path = journal.str();
+  (void)cli::run_sweep(plan);
+
+  cli::SweepPlan with_metrics = plan;
+  with_metrics.resume_path = journal.str();
+  with_metrics.metrics = true;
+  const cli::SweepResult result = cli::run_sweep(with_metrics);
+  EXPECT_EQ(result.cells_reused, 0u);
+  EXPECT_EQ(result.cells_executed, 8u);
+
+  cli::SweepPlan fresh = small_plan();
+  fresh.metrics = true;
+  EXPECT_EQ(result.metrics_json, cli::run_sweep(fresh).metrics_json);
+}
+
+TEST(SweepQuarantine, RetryExhaustionQuarantinesAndContinues) {
+  cli::SweepPlan plan = small_plan();
+  plan.trial_retries = 2;
+  plan.hooks.inject_fail = {1};
+  const cli::SweepResult result = cli::run_sweep(plan);
+
+  ASSERT_EQ(result.quarantined.size(), 1u);
+  EXPECT_EQ(result.quarantined[0].index, 1u);
+  EXPECT_EQ(result.quarantined[0].outcome, res::TrialOutcomeKind::kCrashed);
+  EXPECT_EQ(result.quarantined[0].attempts, 3u);  // 1 + 2 retries
+  EXPECT_FALSE(result.quarantined[0].key.empty());
+
+  // The sweep continued degraded: every other cell completed, the
+  // quarantined cell reports NaN, and the run is NOT partial (nothing was
+  // left unattempted — cells_executed counts the failed attempt too).
+  EXPECT_FALSE(result.partial);
+  EXPECT_EQ(result.cells_executed, 8u);
+  EXPECT_TRUE(std::isnan(result.report.series[1].y[0]));
+  EXPECT_FALSE(std::isnan(result.report.series[0].y[0]));
+}
+
+TEST(SweepQuarantine, WatchdogCancelReportsHung) {
+  cli::SweepPlan plan = small_plan();
+  plan.trial_timeout_s = 0.25;
+  plan.trial_retries = 0;
+  plan.hooks.inject_hang = {2};
+  const cli::SweepResult result = cli::run_sweep(plan);
+
+  ASSERT_EQ(result.quarantined.size(), 1u);
+  EXPECT_EQ(result.quarantined[0].index, 2u);
+  EXPECT_EQ(result.quarantined[0].outcome, res::TrialOutcomeKind::kHung);
+  EXPECT_EQ(result.quarantined[0].attempts, 1u);
+}
+
+TEST(SweepQuarantine, QuarantinedCellReattemptsOnResume) {
+  TempPath journal("resume_quarantine");
+  cli::SweepPlan plan = small_plan();
+  plan.journal_path = journal.str();
+  plan.trial_retries = 0;
+  plan.hooks.inject_fail = {4};
+  const cli::SweepResult broken = cli::run_sweep(plan);
+  ASSERT_EQ(broken.quarantined.size(), 1u);
+
+  // Resume with the fault gone: only the quarantined cell re-runs, and the
+  // final report matches an uninterrupted healthy sweep.
+  cli::SweepPlan healed = small_plan();
+  healed.journal_path = journal.str();
+  healed.resume_path = journal.str();
+  const cli::SweepResult fixed = cli::run_sweep(healed);
+  EXPECT_EQ(fixed.cells_reused, 7u);
+  EXPECT_EQ(fixed.cells_executed, 1u);
+  EXPECT_TRUE(fixed.quarantined.empty());
+  EXPECT_EQ(report_json(fixed), report_json(cli::run_sweep(small_plan())));
+}
+
+TEST(SweepInterrupt, SignalFlushesJournalAndMarksPartial) {
+  TempPath journal("sigint_partial");
+  cli::SweepPlan plan = small_plan();
+  plan.journal_path = journal.str();
+  plan.hooks.interrupted = nullptr;  // use the real SIGINT flag
+
+  res::clear_interrupted();
+  res::simulate_interrupt();
+  const cli::SweepResult result = cli::run_sweep(plan);
+  res::clear_interrupted();
+
+  EXPECT_TRUE(result.partial);
+  EXPECT_TRUE(result.provenance.partial);
+  EXPECT_EQ(result.cells_executed, 0u);
+  EXPECT_EQ(result.cells_skipped, 8u);
+  // The journal was still published durably (header line, zero cells).
+  EXPECT_EQ(res::read_journal(journal.str()).size(), 1u);
+}
+
+TEST(SweepPlanValidation, RejectsMalformedPlans) {
+  cli::SweepPlan no_points = small_plan();
+  no_points.points.clear();
+  EXPECT_THROW((void)cli::run_sweep(no_points), std::invalid_argument);
+
+  cli::SweepPlan no_trials = small_plan();
+  no_trials.trials = 0;
+  EXPECT_THROW((void)cli::run_sweep(no_trials), std::invalid_argument);
+
+  cli::SweepPlan hang_without_watchdog = small_plan();
+  hang_without_watchdog.hooks.inject_hang = {0};
+  EXPECT_THROW((void)cli::run_sweep(hang_without_watchdog),
+               std::invalid_argument);
+}
+
+}  // namespace
