@@ -1,35 +1,18 @@
-// Shared helpers for the figure-reproduction benches.
+// Shared helpers for the microbenchmarks.
 //
-// Every bench binary regenerates one figure of the paper: it sweeps the
-// figure's x axis, runs the relevant strategies for several seeds per
-// point, and prints both an aligned table and a CSV block with the same
-// series the paper plots.  Absolute seconds differ from the paper's (their
-// platform constants are only partly specified); the *shape* — who wins,
-// by what factor, where the crossovers fall — is the reproduction target.
+// The figure-reproduction benches that used to live here are now
+// declarative scenarios (scenarios/*.json) run by `simsweep bench <name>`;
+// only the Google-Benchmark microbenches remain as standalone binaries.
 #pragma once
 
-#include <cstdio>
-#include <cstdlib>
-#include <functional>
-#include <iostream>
-#include <memory>
-#include <string>
-#include <vector>
+#include <cstddef>
 
 #include "core/experiment.hpp"
-#include "core/trial_runner.hpp"
-#include "load/hyperexp.hpp"
-#include "load/onoff.hpp"
-#include "resilience/watchdog.hpp"
-#include "swap/policy.hpp"
 
 namespace bench {
 
 namespace core = simsweep::core;
 namespace app = simsweep::app;
-namespace load = simsweep::load;
-namespace strat = simsweep::strategy;
-namespace swp = simsweep::swap;
 
 /// The paper's standard platform: 32 workstations, 100-500 Mflop/s, one
 /// shared 6 MB/s link, 0.75 s startup per process.
@@ -47,151 +30,6 @@ inline core::ExperimentConfig paper_config(std::size_t active,
   cfg.spare_count = spares;
   cfg.seed = 1;
   return cfg;
-}
-
-/// Number of seeds averaged per sweep point.  Override with the
-/// SIMSWEEP_TRIALS environment variable (benches stay fast in CI).
-inline std::size_t trial_count() {
-  if (const char* env = std::getenv("SIMSWEEP_TRIALS")) {
-    const long v = std::atol(env);
-    if (v > 0) return static_cast<std::size_t>(v);
-  }
-  return 8;
-}
-
-struct NamedStrategy {
-  std::string name;
-  std::unique_ptr<strat::Strategy> strategy;
-};
-
-inline std::vector<NamedStrategy> technique_lineup() {
-  std::vector<NamedStrategy> out;
-  out.push_back({"NONE", std::make_unique<strat::NoneStrategy>()});
-  out.push_back({"SWAP", std::make_unique<strat::SwapStrategy>(
-                             swp::greedy_policy())});
-  out.push_back({"DLB", std::make_unique<strat::DlbStrategy>()});
-  out.push_back({"CR", std::make_unique<strat::CrStrategy>(
-                           swp::greedy_policy())});
-  return out;
-}
-
-inline std::vector<NamedStrategy> policy_lineup() {
-  std::vector<NamedStrategy> out;
-  out.push_back({"NONE", std::make_unique<strat::NoneStrategy>()});
-  out.push_back({"greedy", std::make_unique<strat::SwapStrategy>(
-                               swp::greedy_policy())});
-  out.push_back({"safe", std::make_unique<strat::SwapStrategy>(
-                             swp::safe_policy())});
-  out.push_back({"friendly", std::make_unique<strat::SwapStrategy>(
-                                 swp::friendly_policy())});
-  return out;
-}
-
-/// Runs every cell of a (sweep-point × strategy) grid on the shared worker
-/// pool (sized by SIMSWEEP_JOBS / hardware concurrency) and stores each
-/// cell's TrialStats at a deterministic index, so parallel and serial
-/// execution produce identical reports.  `cell(xi, si)` must be safe to
-/// call concurrently for distinct cells; everything built on run_trials
-/// with per-cell models and configs is.
-inline std::vector<std::vector<core::TrialStats>> run_grid(
-    std::size_t x_count, std::size_t strategy_count,
-    const std::function<core::TrialStats(std::size_t, std::size_t)>& cell) {
-  std::vector<std::vector<core::TrialStats>> grid(
-      x_count, std::vector<core::TrialStats>(strategy_count));
-  // SIMSWEEP_TRIAL_TIMEOUT (wall-clock seconds per grid cell) arms a
-  // watchdog for the whole bench: a wedged cell turns into a prompt
-  // sim::RunCancelled failure with the cell identified, instead of a CI
-  // job that dies on the harness timeout with no clue which cell hung.
-  std::unique_ptr<simsweep::resilience::Watchdog> watchdog;
-  if (const char* env = std::getenv("SIMSWEEP_TRIAL_TIMEOUT")) {
-    const double timeout_s = std::atof(env);
-    if (timeout_s > 0.0)
-      watchdog = std::make_unique<simsweep::resilience::Watchdog>(timeout_s);
-  }
-  core::TrialRunner& runner = core::TrialRunner::shared();
-  if (watchdog) runner.set_trial_guard(watchdog.get());
-  try {
-    runner.parallel_for(
-        x_count * strategy_count, [&](std::size_t task) {
-          const std::size_t xi = task / strategy_count;
-          const std::size_t si = task % strategy_count;
-          grid[xi][si] = cell(xi, si);
-        });
-  } catch (...) {
-    if (watchdog) runner.set_trial_guard(nullptr);
-    throw;
-  }
-  if (watchdog) runner.set_trial_guard(nullptr);
-  return grid;
-}
-
-/// Aborts the bench when any grid cell recorded a stalled (deadlocked) run;
-/// a stall means the strategy wedged, and its "makespan" would silently
-/// pollute the figure as an ordinary slow run.
-inline void require_no_stalls(const std::vector<std::vector<core::TrialStats>>& grid,
-                              const std::string& bench_name) {
-  for (std::size_t xi = 0; xi < grid.size(); ++xi) {
-    for (std::size_t si = 0; si < grid[xi].size(); ++si) {
-      if (grid[xi][si].stalled > 0) {
-        std::fprintf(stderr,
-                     "%s: %zu stalled run(s) at point %zu, strategy %zu — "
-                     "a strategy deadlocked instead of timing out\n",
-                     bench_name.c_str(), grid[xi][si].stalled, xi, si);
-        std::abort();
-      }
-    }
-  }
-}
-
-struct SweepOptions {
-  /// Abort (via require_no_stalls) when any run stalls.
-  bool forbid_stalls = false;
-};
-
-/// Sweeps ON/OFF dynamism (the paper's "load probability" axis) for a fixed
-/// configuration and a set of strategies.  Sweep points × strategies are
-/// dispatched to the shared trial pool; the report is independent of the
-/// execution order.
-inline core::SeriesReport sweep_dynamism(const core::ExperimentConfig& base,
-                                         const std::vector<double>& xs,
-                                         std::vector<NamedStrategy> lineup,
-                                         std::string title,
-                                         SweepOptions options = {}) {
-  core::SeriesReport report;
-  report.title = std::move(title);
-  report.x_label = "load_probability";
-  report.x = xs;
-  const std::size_t trials = trial_count();
-  for (auto& entry : lineup)
-    report.series.push_back({entry.name, {}, {}});
-  const auto grid =
-      run_grid(xs.size(), lineup.size(), [&](std::size_t xi, std::size_t si) {
-        const load::OnOffModel model(load::OnOffParams::dynamism(xs[xi]));
-        return core::run_trials(base, model, *lineup[si].strategy, trials);
-      });
-  if (options.forbid_stalls) require_no_stalls(grid, report.title);
-  for (std::size_t xi = 0; xi < xs.size(); ++xi) {
-    for (std::size_t si = 0; si < lineup.size(); ++si) {
-      report.series[si].y.push_back(grid[xi][si].mean);
-      report.series[si].adaptations.push_back(grid[xi][si].mean_adaptations);
-    }
-  }
-  return report;
-}
-
-/// Prints the standard bench output: expectation header, table, CSV, and a
-/// one-object JSON block for machine consumption (perf trajectories, plot
-/// scripts).
-inline void emit(const core::SeriesReport& report,
-                 const std::string& expectation) {
-  std::cout << "==== " << report.title << " ====\n";
-  std::cout << "# paper expectation: " << expectation << "\n";
-  report.print_table(std::cout);
-  std::cout << "\n-- csv --\n";
-  report.print_csv(std::cout);
-  std::cout << "\n-- json --\n";
-  report.print_json(std::cout);
-  std::cout << "\n" << std::endl;
 }
 
 }  // namespace bench

@@ -5,8 +5,9 @@ Usage:
     check_obs_json.py metrics    FILE   # --metrics snapshot
     check_obs_json.py timeline   FILE   # --timeline Chrome trace
     check_obs_json.py profile    FILE   # captured --profile output
-    check_obs_json.py journal    FILE   # sweep --journal JSONL
-    check_obs_json.py quarantine FILE   # sweep --quarantine report
+    check_obs_json.py journal    FILE   # sweep/bench --journal JSONL
+    check_obs_json.py quarantine FILE   # sweep/bench --quarantine report
+    check_obs_json.py scenario   FILE   # scenarios/*.json experiment spec
 
 Validates structure, not values: every artifact must parse, carry the shared
 provenance block, and obey its schema (histogram counts arrays one longer
@@ -179,12 +180,14 @@ def check_journal(text):
     require(isinstance(header, dict) and header.get("kind") == "sweep-journal",
             "journal: first line is not a sweep-journal header")
     require(
-        set(header) == {"kind", "version", "sweep", "seed", "trials",
-                        "points", "cells"},
+        set(header) == {"kind", "version", "scenario", "sweep", "seed",
+                        "trials", "points", "cells"},
         f"journal: header keys {sorted(header)} unexpected",
     )
-    require(isinstance(header["version"], int) and header["version"] >= 1,
-            "journal: header version must be a positive integer")
+    require(isinstance(header["version"], int) and header["version"] >= 2,
+            "journal: header version must be an integer >= 2")
+    require(isinstance(header["scenario"], str) and header["scenario"],
+            "journal: header.scenario must be a non-empty string")
     check_digest(header["sweep"], "journal: header.sweep")
     cells = header["cells"]
     require(isinstance(cells, int) and cells >= 1,
@@ -248,6 +251,129 @@ def check_quarantine(doc):
                 f"{where} error must be a string")
 
 
+SCENARIO_KINDS = {"grid", "payback", "load_trace", "decision_histogram"}
+
+SCENARIO_TOP_KEYS = {
+    "name", "kind", "title", "expectation", "config", "faults", "trials",
+    "forbid_stalls", "load", "axis", "variants", "reports", "payback",
+    "trace", "histogram",
+}
+
+AXIS_BINDS = {
+    "none", "load.dynamism", "spares.percent_of_active",
+    "load.mean_lifetime_s", "faults.mtbf_hours", "load.mean_reclaimed_min",
+    "policy.payback_threshold_iters", "policy.history_window_s",
+    "policy.min_process_improvement", "policy.max_swaps_per_decision",
+}
+
+STRATEGY_KINDS = {"none", "swap", "dlb", "dlbswap", "cr"}
+
+LOAD_MODELS = {"onoff", "hyperexp", "reclaim"}
+
+
+def check_scenario(doc, stem):
+    """Structural check of one scenarios/*.json file.
+
+    The C++ parser (src/scenario) is the authority on values and
+    cross-field consistency; this guards the things CI wants cheap and
+    early: the file parses, uses only known keys/kinds, and its name
+    matches its file stem so `simsweep bench <stem>` finds it.
+    """
+    require(isinstance(doc, dict), "scenario: top level is not an object")
+    unknown = set(doc) - SCENARIO_TOP_KEYS
+    require(not unknown, f"scenario: unknown top-level keys {sorted(unknown)}")
+    for key in ("name", "kind", "title", "expectation"):
+        require(isinstance(doc.get(key), str) and doc[key],
+                f"scenario: {key!r} must be a non-empty string")
+    require(doc["name"] == stem,
+            f"scenario: name {doc['name']!r} != file stem {stem!r}")
+    kind = doc["kind"]
+    require(kind in SCENARIO_KINDS,
+            f"scenario: kind {kind!r} not in {sorted(SCENARIO_KINDS)}")
+
+    if "trials" in doc:
+        require(isinstance(doc["trials"], int) and doc["trials"] >= 1,
+                "scenario: trials must be a positive integer")
+    if "load" in doc:
+        load = doc["load"]
+        require(isinstance(load, dict), "scenario: load is not an object")
+        require(load.get("model") in LOAD_MODELS,
+                f"scenario: load.model {load.get('model')!r} not in "
+                f"{sorted(LOAD_MODELS)}")
+    if "axis" in doc:
+        axis = doc["axis"]
+        require(isinstance(axis, dict), "scenario: axis is not an object")
+        require(axis.get("binds") in AXIS_BINDS,
+                f"scenario: axis.binds {axis.get('binds')!r} not in "
+                f"{sorted(AXIS_BINDS)}")
+        xs = axis.get("x")
+        require(isinstance(xs, list) and xs
+                and all(isinstance(x, (int, float)) for x in xs),
+                "scenario: axis.x must be a non-empty list of numbers")
+
+    if kind == "grid":
+        variants = doc.get("variants")
+        require(isinstance(variants, list) and variants,
+                "scenario: grid requires a non-empty 'variants' list")
+        names = set()
+        for i, variant in enumerate(variants):
+            where = f"scenario: variants[{i}]"
+            require(isinstance(variant, dict), f"{where} is not an object")
+            require(isinstance(variant.get("name"), str) and variant["name"],
+                    f"{where} needs a non-empty name")
+            require(variant["name"] not in names,
+                    f"{where} duplicates name {variant['name']!r}")
+            names.add(variant["name"])
+            strat = variant.get("strategy")
+            require(isinstance(strat, dict)
+                    and strat.get("kind") in STRATEGY_KINDS,
+                    f"{where} strategy.kind must be one of "
+                    f"{sorted(STRATEGY_KINDS)}")
+        if "reports" in doc:
+            reports = doc["reports"]
+            require(isinstance(reports, list) and reports,
+                    "scenario: reports must be a non-empty list when present")
+            for i, report in enumerate(reports):
+                where = f"scenario: reports[{i}]"
+                require(isinstance(report, dict)
+                        and isinstance(report.get("series"), list)
+                        and report["series"],
+                        f"{where} needs a non-empty 'series' list")
+                for j, series in enumerate(report["series"]):
+                    require(
+                        isinstance(series, dict)
+                        and isinstance(series.get("variant"), int)
+                        and 0 <= series["variant"] < len(variants),
+                        f"{where} series[{j}] variant index out of range",
+                    )
+    elif kind == "payback":
+        payback = doc.get("payback")
+        require(isinstance(payback, dict), "scenario: payback block required")
+        for key in ("iter_s", "swap_s"):
+            value = payback.get(key)
+            require(isinstance(value, (int, float)) and value > 0,
+                    f"scenario: payback.{key} must be a positive number")
+    elif kind == "load_trace":
+        require(isinstance(doc.get("load"), dict),
+                "scenario: load_trace requires a 'load' block")
+        trace = doc.get("trace")
+        require(isinstance(trace, dict), "scenario: trace block required")
+        horizon = trace.get("horizon_s")
+        require(isinstance(horizon, (int, float)) and horizon > 0,
+                "scenario: trace.horizon_s must be a positive number")
+    elif kind == "decision_histogram":
+        hist = doc.get("histogram")
+        require(isinstance(hist, dict), "scenario: histogram block required")
+        policies = hist.get("policies")
+        require(isinstance(policies, list) and policies
+                and all(isinstance(p, str) for p in policies),
+                "scenario: histogram.policies must be non-empty strings")
+        dynamisms = hist.get("dynamisms")
+        require(isinstance(dynamisms, list) and dynamisms
+                and all(isinstance(d, (int, float)) for d in dynamisms),
+                "scenario: histogram.dynamisms must be non-empty numbers")
+
+
 def check_profile(text):
     lines = [ln for ln in text.splitlines() if ln.startswith("profile:")]
     require(lines, "profile: no 'profile:' lines found")
@@ -266,7 +392,8 @@ def check_profile(text):
 
 
 def main(argv):
-    kinds = ("metrics", "timeline", "profile", "journal", "quarantine")
+    kinds = ("metrics", "timeline", "profile", "journal", "quarantine",
+             "scenario")
     if len(argv) != 3 or argv[1] not in kinds:
         sys.stderr.write(__doc__)
         return 2
@@ -278,6 +405,10 @@ def main(argv):
             check_profile(raw)
         elif kind == "journal":
             check_journal(raw)
+        elif kind == "scenario":
+            stem = path.rsplit("/", 1)[-1]
+            stem = stem[:-len(".json")] if stem.endswith(".json") else stem
+            check_scenario(json.loads(raw), stem)
         else:
             doc = json.loads(raw)
             checker = {"metrics": check_metrics, "timeline": check_timeline,

@@ -1,0 +1,457 @@
+#include "cli/bench_cmd.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+#include "cli/config_build.hpp"
+#include "load/hyperexp.hpp"
+#include "load/onoff.hpp"
+#include "obs/profiler.hpp"
+#include "platform/host.hpp"
+#include "resilience/quarantine.hpp"
+#include "resilience/signal.hpp"
+#include "simcore/simulator.hpp"
+#include "strategy/decision_trace.hpp"
+#include "swap/payback.hpp"
+#include "swap/policy.hpp"
+
+namespace simsweep::cli {
+
+namespace {
+
+/// printf into an ostream; the retired bench binaries were printf-based and
+/// their byte-exact formats (field widths, %g, %.6f) are easiest kept as
+/// format strings.
+__attribute__((format(printf, 2, 3))) void oprintf(std::ostream& os,
+                                                   const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string buffer(static_cast<std::size_t>(n) + 1, '\0');
+  std::vsnprintf(buffer.data(), buffer.size(), fmt, ap2);
+  va_end(ap2);
+  buffer.resize(static_cast<std::size_t>(n));
+  os << buffer;
+}
+
+/// "# paper expectation: <line 1>\n# <line 2>\n..." — multi-line
+/// expectations render as a block of comment lines, exactly as the retired
+/// binaries printed them.
+void write_expectation(std::ostream& os, const std::string& expectation) {
+  std::size_t start = 0;
+  bool first = true;
+  for (;;) {
+    const std::size_t nl = expectation.find('\n', start);
+    const std::string_view line(expectation.data() + start,
+                                (nl == std::string::npos ? expectation.size()
+                                                         : nl) -
+                                    start);
+    os << (first ? "# paper expectation: " : "# ") << line << "\n";
+    first = false;
+    if (nl == std::string::npos) break;
+    start = nl + 1;
+  }
+}
+
+std::size_t env_trials() {
+  if (const char* env = std::getenv("SIMSWEEP_TRIALS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 0;
+}
+
+double env_trial_timeout() {
+  if (const char* env = std::getenv("SIMSWEEP_TRIAL_TIMEOUT")) {
+    const double v = std::atof(env);
+    if (v > 0.0) return v;
+  }
+  return 0.0;
+}
+
+/// Flag > SIMSWEEP_TRIALS env > scenario.
+std::size_t resolve_trials(const BenchOptions& opts,
+                           const scenario::ScenarioSpec& spec) {
+  if (opts.trials != 0) return opts.trials;
+  if (const std::size_t env = env_trials(); env != 0) return env;
+  return spec.trials;
+}
+
+std::ofstream open_output(const std::string& path, const char* flag) {
+  std::ofstream out(path);
+  if (!out)
+    throw std::runtime_error(std::string("cannot open --") + flag +
+                             " file '" + path + "'");
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Kind::kGrid — through the sweep runner.
+
+int run_grid(const scenario::ScenarioSpec& spec, const BenchOptions& opts,
+             std::ostream& out) {
+  SweepPlan plan;
+  plan.spec = spec;
+  plan.trials = resolve_trials(opts, spec);
+  plan.jobs = opts.jobs;
+  plan.audit = opts.audit;
+  plan.metrics = !opts.metrics_path.empty();
+  plan.timeline = !opts.timeline_path.empty();
+  plan.trial_timeout_s =
+      opts.trial_timeout_s > 0.0 ? opts.trial_timeout_s : env_trial_timeout();
+  plan.trial_retries = opts.trial_retries;
+  plan.retry_backoff_s = opts.retry_backoff_s;
+  plan.journal_path = opts.journal_path;
+  plan.resume_path = opts.resume_path;
+  plan.profiler = opts.profiler;
+  plan.hooks = opts.hooks;
+
+  const SweepResult result = run_sweep(plan);
+
+  if (result.cells_reused > 0)
+    std::fprintf(stderr, "bench: resumed %zu of %zu cell(s) from '%s'\n",
+                 result.cells_reused, result.cells_total,
+                 plan.resume_path.c_str());
+  for (const auto& record : result.quarantined)
+    std::fprintf(stderr,
+                 "bench: quarantined cell %zu (%s): %s after %zu attempt(s): "
+                 "%s\n",
+                 record.index, record.label.c_str(),
+                 std::string(resilience::to_string(record.outcome)).c_str(),
+                 record.attempts, record.error.c_str());
+  if (!opts.quarantine_path.empty()) {
+    auto qout = open_output(opts.quarantine_path, "quarantine");
+    resilience::write_quarantine_json(qout, result.quarantined,
+                                      &result.provenance);
+  }
+  if (plan.metrics) {
+    auto mout = open_output(opts.metrics_path, "metrics");
+    mout << result.metrics_json;
+  }
+  if (plan.timeline) {
+    auto tout = open_output(opts.timeline_path, "timeline");
+    tout << result.timeline_json;
+  }
+  if (result.partial)
+    std::fprintf(stderr,
+                 "bench: interrupted — %zu cell(s) not run; artifacts are "
+                 "partial (provenance carries \"partial\":true), resume with "
+                 "--resume=%s\n",
+                 result.cells_skipped,
+                 plan.journal_path.empty() ? "JOURNAL"
+                                           : plan.journal_path.c_str());
+
+  for (std::size_t i = 0; i < result.reports.size(); ++i) {
+    const core::SeriesReport& report = result.reports[i];
+    out << "==== " << report.title << " ====\n";
+    write_expectation(out, result.expectations[i]);
+    report.print_table(out);
+    out << "\n-- csv --\n";
+    report.print_csv(out);
+    out << "\n-- json --\n";
+    report.print_json(out);
+    out << "\n\n";
+    out.flush();
+  }
+  return resilience::interrupted() ? 130 : 0;
+}
+
+// ---------------------------------------------------------------------------
+// Kind::kPayback — the §5 worked example (retired fig1 binary).
+
+/// Progress (iterations completed, fractional) at time t for an execution
+/// that pauses `swap_time` at t=0 (first) and then iterates every
+/// `iter_time` seconds.
+double progress(double t, double swap_time, double iter_time) {
+  if (t <= swap_time) return 0.0;
+  return (t - swap_time) / iter_time;
+}
+
+int run_payback(const scenario::ScenarioSpec& spec, std::ostream& out) {
+  const double iter = spec.payback_iter_s;
+  const double swap = spec.payback_swap_s;
+
+  out << "==== " << spec.title << " ====\n";
+  write_expectation(out, spec.expectation);
+
+  const double payback2 = swap::payback_distance(swap, iter, 1.0, 2.0);
+  const double payback4 = swap::payback_distance(swap, iter, 1.0, 4.0);
+  const double payback_drop = swap::payback_distance(swap, iter, 1.0, 0.8);
+  oprintf(out, "payback(2x) = %.6f iterations (paper: 2)\n", payback2);
+  oprintf(out, "payback(4x) = %.6f iterations (paper: 1 1/3)\n", payback4);
+  oprintf(out,
+          "payback(0.8x) = %s (swap can only hurt: never pays back, "
+          "no finite threshold accepts it)\n\n",
+          std::isinf(payback_drop) ? "inf" : "FINITE?!");
+
+  out << "-- csv --\n";
+  out << "time,no_swap,swap_2x,swap_4x,swap_regression_0.8x\n";
+  for (double t = 0.0; t <= 60.0; t += 2.5) {
+    oprintf(out, "%.1f,%.4f,%.4f,%.4f,%.4f\n", t, t / iter,
+            progress(t, swap, iter / 2.0), progress(t, swap, iter / 4.0),
+            progress(t, swap, iter / 0.8));
+  }
+
+  // Crossover check: the 2x trajectory must meet the no-swap line exactly
+  // payback2 iterations (at the new rate) after the swap completes.
+  const double cross_t = swap + payback2 * (iter / 2.0);
+  oprintf(out, "\ncrossover(2x) at t=%.2f s: no_swap=%.4f swap=%.4f\n",
+          cross_t, cross_t / iter, progress(cross_t, swap, iter / 2.0));
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Kind::kLoadTrace — one host's load history as CSV (retired fig2/fig3).
+
+int run_load_trace(const scenario::ScenarioSpec& spec, std::ostream& out) {
+  const double horizon = spec.trace_horizon_s;
+
+  // The concrete model type matters here: the trailer quotes model-specific
+  // analytics (stationary ON fraction / offered load).
+  std::shared_ptr<const load::OnOffModel> onoff;
+  std::shared_ptr<const load::HyperExpModel> hyperexp;
+  const load::LoadModel* model = nullptr;
+  switch (spec.load.kind) {
+    case scenario::LoadKind::kOnOff: {
+      load::OnOffParams params;
+      params.p = spec.load.p;
+      params.q = spec.load.q;
+      params.step_s = spec.load.step_s;
+      params.stationary_start = spec.load.stationary_start;
+      onoff = std::make_shared<load::OnOffModel>(params);
+      model = onoff.get();
+      break;
+    }
+    case scenario::LoadKind::kHyperExp: {
+      load::HyperExpParams params;
+      params.mean_lifetime_s = spec.load.mean_lifetime_s;
+      params.long_prob = spec.load.long_prob;
+      params.mean_interarrival_s = spec.load.mean_interarrival_s;
+      hyperexp = std::make_shared<load::HyperExpModel>(params);
+      model = hyperexp.get();
+      break;
+    }
+    case scenario::LoadKind::kReclaim:
+      throw scenario::ScenarioError(
+          "scenario '" + spec.name +
+          "': load_trace supports onoff and hyperexp models");
+  }
+
+  sim::Simulator simulator;
+  platform::Host host(simulator, 0, 300.0e6, "traced");
+  auto source = model->make_source(sim::Rng(spec.trace_seed));
+  source->start(simulator, host);
+  simulator.run_until(horizon);
+
+  out << "==== " << spec.title << " ====\n";
+  if (hyperexp)
+    oprintf(out, "# offered load %.2f, lifetime CV^2 %.1f\n",
+            hyperexp->offered_load(), hyperexp->lifetime_cv2());
+  write_expectation(out, spec.expectation);
+
+  int max_load = 0;
+  double area = 0.0, last_t = 0.0, last_v = 0.0;
+  out << "-- csv --\n";
+  out << "time,cpu_load\n";
+  for (const sim::Sample& s : host.load_history()) {
+    if (s.time > horizon) break;
+    area += last_v * (s.time - last_t);
+    // Emit step edges so the plot is rectangular.
+    oprintf(out, "%.1f,%.0f\n", s.time, last_v);
+    oprintf(out, "%.1f,%.0f\n", s.time, s.value);
+    last_t = s.time;
+    last_v = s.value;
+    max_load = std::max(max_load, static_cast<int>(s.value));
+  }
+  area += last_v * (horizon - last_t);
+  oprintf(out, "%.1f,%.0f\n", horizon, last_v);
+
+  if (onoff) {
+    oprintf(out, "\nempirical ON fraction %.3f vs stationary %.3f\n",
+            area / horizon, onoff->stationary_on_fraction());
+  } else {
+    oprintf(out, "\nmean load %.3f (offered %.3f), peak simultaneous %d\n",
+            area / horizon, hyperexp->offered_load(), max_load);
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Kind::kDecisionHistogram — rejection-reason histograms per policy
+// (retired abl_decision_trace binary).
+
+struct Histogram {
+  std::size_t boundaries = 0;
+  std::size_t swaps_applied = 0;
+  // Indexed by swap::RejectReason (kAccepted..kAppGain).
+  std::array<std::size_t, 5> by_reason{};
+  double accepted_payback_sum = 0.0;
+
+  [[nodiscard]] std::size_t considered() const {
+    std::size_t n = 0;
+    for (const std::size_t c : by_reason) n += c;
+    return n;
+  }
+};
+
+Histogram fold(const std::vector<strategy::RunResult>& results) {
+  Histogram h;
+  for (const strategy::RunResult& r : results) {
+    for (const strategy::DecisionRecord& rec : r.decision_trace) {
+      if (rec.kind != strategy::TraceKind::kBoundary) continue;
+      ++h.boundaries;
+      h.swaps_applied += rec.swaps_applied;
+      for (const swap::CandidateEvaluation& c : rec.considered) {
+        ++h.by_reason[static_cast<std::size_t>(c.rejection)];
+        if (c.accepted()) h.accepted_payback_sum += c.payback_iters;
+      }
+    }
+  }
+  return h;
+}
+
+int run_decision_histogram(const scenario::ScenarioSpec& spec,
+                           const BenchOptions& opts, std::ostream& out) {
+  core::ExperimentConfig cfg = scenario::base_config(spec);
+  cfg.trace_decisions = true;
+  cfg.audit = opts.audit;
+  const std::size_t trials = resolve_trials(opts, spec);
+
+  struct Cell {
+    std::string policy;
+    double dynamism;
+    Histogram h;
+  };
+  std::vector<Cell> cells;
+  for (const std::string& policy : spec.histogram_policies) {
+    for (const double d : spec.histogram_dynamisms) {
+      scenario::PolicySpec policy_spec;
+      policy_spec.base = policy;
+      strategy::SwapStrategy strategy{scenario::make_policy(policy_spec)};
+      const load::OnOffModel model(load::OnOffParams::dynamism(d));
+      const auto results =
+          core::run_trials_results(cfg, model, strategy, trials, opts.jobs);
+      cells.push_back({policy, d, fold(results)});
+    }
+  }
+
+  out << "==== " << spec.title << " ====\n";
+  write_expectation(out, spec.expectation);
+  oprintf(out, "%-9s %9s %10s %10s %9s %15s %12s %9s %8s %12s\n", "policy",
+          "dynamism", "boundaries", "considered", "accepted",
+          "no_faster_spare", "min_process", "payback", "min_app",
+          "mean_payback");
+  for (const Cell& cell : cells) {
+    const Histogram& h = cell.h;
+    const std::size_t accepted = h.by_reason[0];
+    oprintf(out, "%-9s %9.2f %10zu %10zu %9zu %15zu %12zu %9zu %8zu %12.3f\n",
+            cell.policy.c_str(), cell.dynamism, h.boundaries, h.considered(),
+            accepted, h.by_reason[1], h.by_reason[2], h.by_reason[3],
+            h.by_reason[4],
+            accepted > 0
+                ? h.accepted_payback_sum / static_cast<double>(accepted)
+                : 0.0);
+  }
+  oprintf(out, "\n-- csv --\n");
+  oprintf(out,
+          "policy,dynamism,boundaries,considered,accepted,"
+          "no_faster_spare,min_process_improvement,payback_threshold,"
+          "min_app_improvement,swaps_applied,mean_accepted_payback\n");
+  for (const Cell& cell : cells) {
+    const Histogram& h = cell.h;
+    const std::size_t accepted = h.by_reason[0];
+    oprintf(out, "%s,%g,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%.6g\n",
+            cell.policy.c_str(), cell.dynamism, h.boundaries, h.considered(),
+            accepted, h.by_reason[1], h.by_reason[2], h.by_reason[3],
+            h.by_reason[4], h.swaps_applied,
+            accepted > 0
+                ? h.accepted_payback_sum / static_cast<double>(accepted)
+                : 0.0);
+  }
+  return 0;
+}
+
+/// Non-negative integer flag (mirrors main.cpp's get_count).
+std::size_t get_count(Args& args, const std::string& flag, long fallback) {
+  const long v = args.get_int(flag, fallback);
+  if (v < 0)
+    throw std::invalid_argument("--" + flag + " must be >= 0, got " +
+                                std::to_string(v));
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+int run_bench_scenario(const scenario::ScenarioSpec& spec,
+                       const BenchOptions& opts, std::ostream& out) {
+  switch (spec.kind) {
+    case scenario::Kind::kGrid:
+      return run_grid(spec, opts, out);
+    case scenario::Kind::kPayback:
+      return run_payback(spec, out);
+    case scenario::Kind::kLoadTrace:
+      return run_load_trace(spec, out);
+    case scenario::Kind::kDecisionHistogram:
+      return run_decision_histogram(spec, opts, out);
+  }
+  throw scenario::ScenarioError("scenario: unhandled kind");
+}
+
+int cmd_bench(Args& args) {
+  const std::string dir = scenario::default_scenario_dir();
+  if (args.get_bool("list")) {
+    reject_unused(args);
+    for (const std::string& name : scenario::list_scenarios(dir)) {
+      const scenario::ScenarioSpec spec =
+          scenario::load_scenario_file(dir + "/" + name + ".json");
+      std::printf("%-26s %s\n", name.c_str(), spec.title.c_str());
+    }
+    return 0;
+  }
+
+  resilience::arm_interrupt_handlers();
+  BenchOptions opts;
+  opts.trials = get_count(args, "trials", 0);
+  opts.jobs = get_count(args, "jobs", 0);
+  opts.audit = parse_audit_flag(args);
+  const ObsOptions obs_opts = parse_obs_options(args);
+  opts.metrics_path = obs_opts.metrics_path;
+  opts.timeline_path = obs_opts.timeline_path;
+  opts.trial_timeout_s = args.get_double("trial-timeout", 0.0);
+  opts.trial_retries = get_count(args, "trial-retries", 1);
+  opts.resume_path = args.get_string("resume", "");
+  // --resume without --journal keeps journaling into the resumed file, so
+  // a twice-interrupted bench still resumes from its full history.
+  opts.journal_path = args.get_string("journal", opts.resume_path);
+  opts.quarantine_path = args.get_string("quarantine", "");
+  opts.hooks.stop_after_cells = get_count(args, "stop-after-cells", 0);
+
+  if (args.positional().empty())
+    throw std::invalid_argument(
+        "bench: missing scenario name or file (try `simsweep bench --list`)");
+  const scenario::ScenarioSpec spec =
+      scenario::find_scenario(args.positional().front(), dir);
+  reject_unused(args);
+
+  obs::TrialProfiler profiler;
+  if (obs_opts.profile) opts.profiler = &profiler;
+  const int code = run_bench_scenario(spec, opts, std::cout);
+  // The profile goes to stderr so stdout stays the byte-exact report.
+  if (obs_opts.profile) profiler.print(std::cerr);
+  return code;
+}
+
+}  // namespace simsweep::cli

@@ -1,0 +1,63 @@
+// `simsweep bench <name|file>` — run one declarative scenario and print its
+// report(s) in the classic bench format.
+//
+// Grid scenarios route through cli::run_sweep, so every figure inherits the
+// resilience surface (journal/--resume, watchdog, retry/quarantine) and the
+// observability surface (--metrics/--timeline/--profile).  The illustrative
+// kinds (payback, load_trace, decision_histogram) have dedicated emitters
+// that reproduce the retired standalone bench binaries byte-for-byte.
+//
+// run_bench_scenario is the testable core: tests drive it with an
+// ostringstream and compare bytes against the recorded pre-refactor output.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "cli/args.hpp"
+#include "cli/sweep_runner.hpp"
+#include "scenario/scenario.hpp"
+
+namespace simsweep::cli {
+
+struct BenchOptions {
+  /// Trials per cell; 0 = SIMSWEEP_TRIALS env var, else the spec's count.
+  std::size_t trials = 0;
+  std::size_t jobs = 0;  ///< cell-level parallelism; 0 = default
+
+  audit::AuditMode audit = audit::AuditMode::kOff;
+
+  std::string metrics_path;   ///< write merged metrics JSON; "" = off
+  std::string timeline_path;  ///< write Chrome trace JSON; "" = off
+
+  /// Wall-clock budget per cell; 0 = the SIMSWEEP_TRIAL_TIMEOUT env var
+  /// (same convention the standalone benches used), else no watchdog.
+  double trial_timeout_s = 0.0;
+  std::size_t trial_retries = 1;
+  double retry_backoff_s = 0.1;
+
+  std::string journal_path;     ///< grid kinds only
+  std::string resume_path;      ///< grid kinds only
+  std::string quarantine_path;  ///< grid kinds only
+
+  SweepHooks hooks;  ///< test hooks, forwarded to the sweep runner
+
+  obs::TrialProfiler* profiler = nullptr;  ///< grid kinds only; may be null
+};
+
+/// Runs `spec` and writes its report(s) to `out` (the byte-exact bench
+/// format).  Diagnostics (resume/quarantine/partial messages) go to stderr;
+/// artifact files named in `opts` are written as side effects.  Returns the
+/// process exit code (130 when interrupted, 0 otherwise); throws on
+/// malformed specs and I/O failures.
+int run_bench_scenario(const scenario::ScenarioSpec& spec,
+                       const BenchOptions& opts, std::ostream& out);
+
+/// `simsweep bench` entry point: `--list`, or a positional scenario name /
+/// file path plus the resilience and observability flags.  Unknown names
+/// throw scenario::UnknownScenarioError (main maps it to exit code 2 with a
+/// did-you-mean suggestion).
+int cmd_bench(Args& args);
+
+}  // namespace simsweep::cli

@@ -2,88 +2,61 @@
 
 #include <cstdlib>
 #include <stdexcept>
+#include <utility>
 
 #include "audit/auditor.hpp"
-#include "forecast/forecaster.hpp"
-#include "load/hyperexp.hpp"
 #include "load/misc_models.hpp"
-#include "load/onoff.hpp"
-#include "load/reclamation.hpp"
 #include "load/trace_io.hpp"
-#include "strategy/estimator.hpp"
-#include "swap/policy.hpp"
 
 namespace simsweep::cli {
 
-core::ExperimentConfig build_config(Args& args) {
-  core::ExperimentConfig cfg;
-  cfg.cluster.host_count = static_cast<std::size_t>(args.get_int("hosts", 32));
-  const auto active = static_cast<std::size_t>(args.get_int("active", 4));
-  const auto iters = static_cast<std::size_t>(args.get_int("iters", 60));
-  const double minutes = args.get_double("iter-minutes", 2.0);
-  cfg.app = app::AppSpec::with_iteration_minutes(active, iters, minutes);
-  cfg.app.state_bytes_per_process =
-      args.get_double("state-mb", 1.0) * app::kMiB;
-  cfg.app.comm_bytes_per_process =
-      args.get_double("comm-kb", 100.0) * app::kKiB;
-  cfg.spare_count = static_cast<std::size_t>(
-      args.get_int("spares", static_cast<long>(cfg.cluster.host_count -
-                                               active)));
-  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
-  cfg.horizon_s = args.get_double("horizon-hours", 2880.0) * 3600.0;
+void apply_config_flags(Args& args, scenario::ScenarioSpec& spec) {
+  spec.hosts = static_cast<std::size_t>(
+      args.get_int("hosts", static_cast<long>(spec.hosts)));
+  spec.active = static_cast<std::size_t>(
+      args.get_int("active", static_cast<long>(spec.active)));
+  spec.iterations = static_cast<std::size_t>(
+      args.get_int("iters", static_cast<long>(spec.iterations)));
+  spec.iter_minutes = args.get_double("iter-minutes", spec.iter_minutes);
+  spec.state_mb = args.get_double("state-mb", spec.state_mb);
+  spec.comm_kb = args.get_double("comm-kb", spec.comm_kb);
+  spec.spares = static_cast<std::size_t>(args.get_int(
+      "spares", static_cast<long>(spec.hosts - spec.active)));
+  spec.seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<long>(spec.seed)));
+  spec.horizon_hours = args.get_double("horizon-hours", spec.horizon_hours);
   // Fault injection (all off by default).
-  cfg.faults.host_mtbf_s = args.get_double("mtbf-hours", 0.0) * 3600.0;
-  cfg.faults.swap_fail_prob = args.get_double("swap-fail-prob", 0.0);
-  cfg.faults.checkpoint_fail_prob = args.get_double("ckpt-fail-prob", 0.0);
-  cfg.faults.max_transfer_retries = static_cast<std::size_t>(
-      args.get_int("fault-retries",
-                   static_cast<long>(cfg.faults.max_transfer_retries)));
-  cfg.faults.blacklist_after = static_cast<std::size_t>(args.get_int(
-      "blacklist-after", static_cast<long>(cfg.faults.blacklist_after)));
-  cfg.faults.validate();
-  cfg.max_events = static_cast<std::uint64_t>(
-      args.get_int("max-events", static_cast<long>(cfg.max_events)));
+  spec.mtbf_hours = args.get_double("mtbf-hours", spec.mtbf_hours);
+  spec.swap_fail_prob = args.get_double("swap-fail-prob", spec.swap_fail_prob);
+  spec.checkpoint_fail_prob =
+      args.get_double("ckpt-fail-prob", spec.checkpoint_fail_prob);
+  spec.max_transfer_retries = static_cast<std::size_t>(args.get_int(
+      "fault-retries", static_cast<long>(spec.max_transfer_retries)));
+  spec.blacklist_after = static_cast<std::size_t>(args.get_int(
+      "blacklist-after", static_cast<long>(spec.blacklist_after)));
+  spec.max_events = static_cast<std::uint64_t>(
+      args.get_int("max-events", static_cast<long>(spec.max_events)));
+}
+
+audit::AuditMode parse_audit_flag(Args& args) {
   // Bare --audit means fail-fast; --audit=warn collects into the report.
-  if (args.has("audit"))
-    cfg.audit = audit::parse_mode(args.get_string("audit", ""));
-  if (active + cfg.spare_count > cfg.cluster.host_count)
-    throw std::invalid_argument(
-        "config: active + spares exceeds --hosts");
+  if (!args.has("audit")) return audit::AuditMode::kOff;
+  return audit::parse_mode(args.get_string("audit", ""));
+}
+
+core::ExperimentConfig build_config(Args& args) {
+  scenario::ScenarioSpec spec;
+  apply_config_flags(args, spec);
+  core::ExperimentConfig cfg = scenario::base_config(spec);
+  cfg.audit = parse_audit_flag(args);
   return cfg;
 }
 
 std::shared_ptr<const load::LoadModel> build_load_model(Args& args) {
   const std::string model = args.get_string("model", "onoff");
-  if (model == "onoff") {
-    load::OnOffParams params;
-    if (args.has("dynamism")) {
-      params = load::OnOffParams::dynamism(args.get_double("dynamism", 0.2));
-    } else {
-      params.p = args.get_double("p", params.p);
-      params.q = args.get_double("q", params.q);
-    }
-    params.step_s = args.get_double("step", params.step_s);
-    return std::make_shared<load::OnOffModel>(params);
-  }
-  if (model == "hyperexp") {
-    load::HyperExpParams params;
-    params.mean_lifetime_s = args.get_double("lifetime", 300.0);
-    params.long_prob = args.get_double("long-prob", 0.2);
-    params.mean_interarrival_s =
-        args.get_double("interarrival", 2.0 * params.mean_lifetime_s);
-    return std::make_shared<load::HyperExpModel>(params);
-  }
-  if (model == "reclaim") {
-    load::ReclamationParams params;
-    params.mean_available_s = args.get_double("avail-min", 60.0) * 60.0;
-    params.mean_reclaimed_s = args.get_double("reclaim-min", 10.0) * 60.0;
-    std::shared_ptr<const load::LoadModel> base;
-    if (args.has("dynamism"))
-      base = std::make_shared<load::OnOffModel>(
-          load::OnOffParams::dynamism(args.get_double("dynamism", 0.2)));
-    return std::make_shared<load::ReclamationModel>(base, params);
-  }
   if (model == "trace") {
+    // Trace files stay a CLI affordance (replay a measured load); the
+    // declarative scenarios cover the paper's generative models only.
     const std::string path = args.get_string("trace-file", "");
     if (path.empty())
       throw std::invalid_argument("--model=trace requires --trace-file");
@@ -93,77 +66,107 @@ std::shared_ptr<const load::LoadModel> build_load_model(Args& args) {
     return std::make_shared<load::TraceModel>(
         std::move(samples), period, !args.get_bool("no-phase"));
   }
-  throw std::invalid_argument("unknown --model '" + model +
-                              "' (onoff|hyperexp|reclaim|trace)");
+  scenario::LoadSpec spec;
+  if (model == "onoff") {
+    spec.kind = scenario::LoadKind::kOnOff;
+    if (args.has("dynamism")) {
+      const double d = args.get_double("dynamism", 0.2);
+      spec.p = d;
+      spec.q = d;
+    } else {
+      spec.p = args.get_double("p", spec.p);
+      spec.q = args.get_double("q", spec.q);
+    }
+    spec.step_s = args.get_double("step", spec.step_s);
+  } else if (model == "hyperexp") {
+    spec.kind = scenario::LoadKind::kHyperExp;
+    spec.mean_lifetime_s = args.get_double("lifetime", 300.0);
+    spec.long_prob = args.get_double("long-prob", 0.2);
+    spec.mean_interarrival_s =
+        args.get_double("interarrival", 2.0 * spec.mean_lifetime_s);
+  } else if (model == "reclaim") {
+    spec.kind = scenario::LoadKind::kReclaim;
+    spec.mean_available_s = args.get_double("avail-min", 60.0) * 60.0;
+    spec.mean_reclaimed_s = args.get_double("reclaim-min", 10.0) * 60.0;
+    if (args.has("dynamism")) {
+      auto base = std::make_shared<scenario::LoadSpec>();
+      const double d = args.get_double("dynamism", 0.2);
+      base->p = d;
+      base->q = d;
+      spec.base = std::move(base);
+    }
+  } else {
+    throw std::invalid_argument("unknown --model '" + model +
+                                "' (onoff|hyperexp|reclaim|trace)");
+  }
+  return scenario::make_load_model(spec);
 }
 
 namespace {
 
-swap::PolicyParams build_policy(Args& args) {
-  const std::string name = args.get_string("policy", "greedy");
-  swap::PolicyParams policy;
-  if (name == "greedy") {
-    policy = swap::greedy_policy();
-  } else if (name == "safe") {
-    policy = swap::safe_policy();
-  } else if (name == "friendly") {
-    policy = swap::friendly_policy();
-  } else {
-    throw std::invalid_argument("unknown --policy '" + name +
+scenario::PolicySpec build_policy(Args& args) {
+  scenario::PolicySpec spec;
+  spec.base = args.get_string("policy", "greedy");
+  if (spec.base != "greedy" && spec.base != "safe" && spec.base != "friendly")
+    throw std::invalid_argument("unknown --policy '" + spec.base +
                                 "' (greedy|safe|friendly)");
-  }
-  policy.payback_threshold_iters =
-      args.get_double("payback", policy.payback_threshold_iters);
-  policy.min_process_improvement =
-      args.get_double("min-process", policy.min_process_improvement);
-  policy.min_app_improvement =
-      args.get_double("min-app", policy.min_app_improvement);
-  policy.history_window_s = args.get_double("history", policy.history_window_s);
-  return policy;
+  if (args.has("payback"))
+    spec.payback_threshold_iters = args.get_double("payback", 0.0);
+  if (args.has("min-process"))
+    spec.min_process_improvement = args.get_double("min-process", 0.0);
+  if (args.has("min-app"))
+    spec.min_app_improvement = args.get_double("min-app", 0.0);
+  if (args.has("history"))
+    spec.history_window_s = args.get_double("history", 0.0);
+  return spec;
 }
 
-std::shared_ptr<strategy::SpeedEstimator> build_estimator(Args& args) {
+scenario::EstimatorSpec build_estimator(Args& args) {
   const std::string predictor = args.get_string("predictor", "window");
-  if (predictor == "window") return nullptr;  // policy window semantics
-  if (predictor == "nws")
-    return strategy::make_forecast_estimator(
-        [] { return forecast::make_default_ensemble(); }, "nws_adaptive");
-  if (predictor == "ewma") {
-    const double tau = args.get_double("ewma-tau", 120.0);
-    return strategy::make_forecast_estimator(
-        [tau] { return forecast::make_ewma(tau); },
-        "ewma_" + std::to_string(static_cast<int>(tau)) + "s");
+  scenario::EstimatorSpec spec;
+  if (predictor == "window") {
+    spec.kind = scenario::EstimatorKind::kPolicy;  // policy window semantics
+  } else if (predictor == "nws") {
+    spec.kind = scenario::EstimatorKind::kNws;
+  } else if (predictor == "ewma") {
+    spec.kind = scenario::EstimatorKind::kEwma;
+    spec.tau_s = args.get_double("ewma-tau", 120.0);
+  } else if (predictor == "median") {
+    spec.kind = scenario::EstimatorKind::kMedian;
+    spec.k = static_cast<std::size_t>(args.get_int("median-k", 5));
+  } else {
+    throw std::invalid_argument("unknown --predictor '" + predictor +
+                                "' (window|nws|ewma|median)");
   }
-  if (predictor == "median") {
-    const auto k = static_cast<std::size_t>(args.get_int("median-k", 5));
-    return strategy::make_forecast_estimator(
-        [k] { return forecast::make_sliding_median(k); },
-        "median_" + std::to_string(k));
-  }
-  throw std::invalid_argument("unknown --predictor '" + predictor +
-                              "' (window|nws|ewma|median)");
+  return spec;
 }
 
 }  // namespace
 
 std::unique_ptr<strategy::Strategy> build_strategy(Args& args) {
   const std::string name = args.get_string("strategy", "swap");
-  if (name == "none") return std::make_unique<strategy::NoneStrategy>();
-  if (name == "dlb") return std::make_unique<strategy::DlbStrategy>();
-  if (name == "dlbswap")
-    return std::make_unique<strategy::DlbSwapStrategy>(build_policy(args));
-  if (name == "cr")
-    return std::make_unique<strategy::CrStrategy>(build_policy(args));
-  if (name == "swap") {
-    strategy::SwapOptions options;
-    options.estimator = build_estimator(args);
-    options.eviction_guard = args.get_bool("guard");
-    options.stall_factor = args.get_double("stall-factor", 3.0);
-    return std::make_unique<strategy::SwapStrategy>(build_policy(args),
-                                                    options);
+  scenario::StrategySpec spec;
+  if (name == "none") {
+    spec.kind = scenario::StrategyKind::kNone;
+  } else if (name == "dlb") {
+    spec.kind = scenario::StrategyKind::kDlb;
+  } else if (name == "dlbswap") {
+    spec.kind = scenario::StrategyKind::kDlbSwap;
+    spec.policy = build_policy(args);
+  } else if (name == "cr") {
+    spec.kind = scenario::StrategyKind::kCr;
+    spec.policy = build_policy(args);
+  } else if (name == "swap") {
+    spec.kind = scenario::StrategyKind::kSwap;
+    spec.policy = build_policy(args);
+    spec.estimator = build_estimator(args);
+    spec.guard = args.get_bool("guard");
+    spec.stall_factor = args.get_double("stall-factor", 3.0);
+  } else {
+    throw std::invalid_argument("unknown --strategy '" + name +
+                                "' (none|swap|dlb|dlbswap|cr)");
   }
-  throw std::invalid_argument("unknown --strategy '" + name +
-                              "' (none|swap|dlb|dlbswap|cr)");
+  return scenario::make_strategy(spec);
 }
 
 ObsOptions parse_obs_options(Args& args, const char* metrics_env,

@@ -1,5 +1,12 @@
-// Translates CLI flags into experiment configurations, load models and
-// strategies.  Factored out of main() so it is unit-testable.
+// Translates CLI flags into declarative scenario specs (and from there into
+// experiment configurations, load models and strategies).  Factored out of
+// main() so it is unit-testable.
+//
+// Since the scenario layer, flags are overrides on a ScenarioSpec: the spec
+// carries the paper defaults, apply_config_flags() folds the platform and
+// fault flags in, and the runnable objects come from scenario::base_config /
+// make_load_model / make_strategy — one construction path shared with
+// `simsweep bench` and the golden tests.
 #pragma once
 
 #include <memory>
@@ -8,23 +15,35 @@
 #include "cli/args.hpp"
 #include "core/experiment.hpp"
 #include "load/load_model.hpp"
+#include "scenario/scenario.hpp"
 #include "strategy/strategy.hpp"
 
 namespace simsweep::cli {
 
-/// Flags: --hosts --active --spares --iters --iter-minutes --state-mb
-/// --comm-kb --seed --horizon-hours.
+/// Applies the platform/application/fault flags onto `spec`: --hosts
+/// --active --spares --iters --iter-minutes --state-mb --comm-kb --seed
+/// --horizon-hours --mtbf-hours --swap-fail-prob --ckpt-fail-prob
+/// --fault-retries --blacklist-after --max-events.  Absent flags leave the
+/// spec's values in place (--spares defaults to hosts - active).
+void apply_config_flags(Args& args, scenario::ScenarioSpec& spec);
+
+/// --audit[=fail|warn]; kOff when the flag is absent (the SIMSWEEP_AUDIT
+/// env var still applies downstream, inside run_single).
+[[nodiscard]] audit::AuditMode parse_audit_flag(Args& args);
+
+/// apply_config_flags + scenario::base_config + parse_audit_flag on a
+/// default (paper) spec.
 [[nodiscard]] core::ExperimentConfig build_config(Args& args);
 
-/// Flags: --model=onoff|hyperexp|reclaim (+ model parameters:
+/// Flags: --model=onoff|hyperexp|reclaim|trace (+ model parameters:
 /// --dynamism | --p/--q/--step, --lifetime/--long-prob/--interarrival,
-/// --avail-min/--reclaim-min).
+/// --avail-min/--reclaim-min, --trace-file/--period/--no-phase).
 [[nodiscard]] std::shared_ptr<const load::LoadModel> build_load_model(
     Args& args);
 
-/// Flags: --strategy=none|swap|dlb|cr, --policy=greedy|safe|friendly,
+/// Flags: --strategy=none|swap|dlb|dlbswap|cr, --policy=greedy|safe|friendly,
 /// --payback/--min-process/--min-app/--history (policy overrides),
-/// --guard, --predictor=window|nws|ewma|median.
+/// --guard/--stall-factor, --predictor=window|nws|ewma|median.
 [[nodiscard]] std::unique_ptr<strategy::Strategy> build_strategy(Args& args);
 
 /// Observability outputs requested on the command line.

@@ -3,6 +3,7 @@
 //   simsweep run   [platform/app flags] --strategy=... --trials=8
 //   simsweep sweep [platform/app flags] --points=0,0.05,0.1,...   (all four
 //                  techniques across ON/OFF dynamism)
+//   simsweep bench <scenario>  (a shipped figure/ablation, or --list)
 //   simsweep trace --model=onoff --duration=2000      (load trace as CSV)
 //   simsweep help
 #include <cstddef>
@@ -14,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "cli/bench_cmd.hpp"
 #include "cli/config_build.hpp"
 #include "cli/sweep_runner.hpp"
 #include "core/trial_runner.hpp"
@@ -25,12 +27,14 @@
 #include "resilience/quarantine.hpp"
 #include "resilience/signal.hpp"
 #include "resilience/watchdog.hpp"
+#include "scenario/scenario.hpp"
 #include "simcore/simulator.hpp"
 #include "strategy/decision_trace.hpp"
 #include "swap/policy.hpp"
 
 namespace cli = simsweep::cli;
 namespace core = simsweep::core;
+namespace scenario = simsweep::scenario;
 namespace strat = simsweep::strategy;
 
 namespace {
@@ -42,8 +46,19 @@ usage: simsweep <command> [flags]
 commands:
   run     simulate one strategy, print per-trial statistics
   sweep   compare NONE/SWAP/DLB/CR across ON/OFF dynamism
+  bench   run a declarative scenario (paper figures, ablations) by name
   trace   emit a CPU-load trace as CSV
   help    this text
+
+scenario flags (run, bench):
+  bench <name|file.json>  run a shipped scenario (scenarios/*.json; override
+             the directory with SIMSWEEP_SCENARIO_DIR) or an explicit file;
+             grid scenarios inherit the sweep resilience/observability
+             surface below.  --trials overrides the scenario's trial count
+             (SIMSWEEP_TRIALS env var sits between flag and file).
+  bench --list            list shipped scenarios with their titles
+  --scenario=<name|file>  (run) start from a scenario's platform/app/load
+             config; explicit flags below still override field by field
 
 platform/application flags (run, sweep):
   --hosts=32 --active=4 --spares=<hosts-active> --iters=60
@@ -63,7 +78,7 @@ execution/output flags (run, sweep):
              makespans are bitwise identical with auditing on or off.  The
              SIMSWEEP_AUDIT env var applies the same modes suite-wide.
 
-observability flags (run, sweep):
+observability flags (run, sweep, bench):
   --metrics=FILE   write a merged metrics snapshot (counters, gauges,
              histograms from every simulation layer) as JSON; identical at
              any --jobs, and makespans are unchanged.  Env fallback:
@@ -75,25 +90,28 @@ observability flags (run, sweep):
              SIMSWEEP_TIMELINE.
   --profile  measure the trial engine itself (wall-clock): per-trial
              duration, queue wait, per-worker utilization.  Printed after
-             the results (stderr under --json).
+             the results (stderr under --json and bench).
 
 resilience flags:
-  --trial-timeout=SECONDS  (run, sweep) wall-clock watchdog per trial (run)
-             or per sweep cell; overdue work is cancelled cooperatively and
-             reported as hung.  0 (default) disables the watchdog.
-  --journal=FILE  (sweep) append each completed cell to a crash-consistent
-             journal (write-temp + fsync + atomic rename); a killed sweep
-             loses at most the in-flight cells.
-  --resume=FILE   (sweep) replay completed cells from a journal instead of
-             re-simulating them; the finished artifacts are byte-identical
-             to an uninterrupted run at any --jobs.  Journaling continues
-             into the same file unless --journal says otherwise.
-  --trial-retries=N  (sweep) extra attempts (capped backoff) before a
+  --trial-timeout=SECONDS  (run, sweep, bench) wall-clock watchdog per trial
+             (run) or per sweep cell; overdue work is cancelled
+             cooperatively and reported as hung.  0 (default) disables the
+             watchdog (bench falls back to SIMSWEEP_TRIAL_TIMEOUT).
+  --journal=FILE  (sweep, bench) append each completed cell to a
+             crash-consistent journal (write-temp + fsync + atomic rename);
+             a killed sweep loses at most the in-flight cells.
+  --resume=FILE   (sweep, bench) replay completed cells from a journal
+             instead of re-simulating them; the finished artifacts are
+             byte-identical to an uninterrupted run at any --jobs.
+             Journaling continues into the same file unless --journal says
+             otherwise.  The journal records the scenario name and config
+             digests, so resuming against an edited scenario is refused.
+  --trial-retries=N  (sweep, bench) extra attempts (capped backoff) before a
              failed or hung cell is quarantined (default 1)
-  --quarantine=FILE  (sweep) write the quarantine report (config digest,
-             seed, outcome, attempts, error per abandoned cell) as JSON;
-             without it, abandoned cells are summarized on stderr.  The
-             sweep continues degraded either way and exits 0.
+  --quarantine=FILE  (sweep, bench) write the quarantine report (config
+             digest, seed, outcome, attempts, error per abandoned cell) as
+             JSON; without it, abandoned cells are summarized on stderr.
+             The sweep continues degraded either way and exits 0.
   SIGINT/SIGTERM flush the journal and emit partial artifacts whose
   provenance meta carries "partial":true; exit code is 130.
   testing hooks (sweep): --stop-after-cells=N (stop claiming cells after N,
@@ -104,6 +122,7 @@ load model flags (run, trace):
   --model=onoff   --dynamism=0.2 | --p=0.3 --q=0.08 [--step=100]
   --model=hyperexp --lifetime=300 [--long-prob=0.2] [--interarrival=600]
   --model=reclaim --avail-min=60 --reclaim-min=10 [--dynamism=...]
+  --model=trace --trace-file=FILE [--period=...] [--no-phase]
 
 strategy flags (run):
   --strategy=none|swap|dlb|dlbswap|cr
@@ -122,6 +141,8 @@ fault-injection flags (run, sweep; all off by default):
 examples:
   simsweep run --strategy=swap --policy=safe --dynamism=0.2 --trials=10
   simsweep sweep --points=0,0.05,0.1,0.2,0.4,0.8 --state-mb=100
+  simsweep bench fig4
+  simsweep bench fig7 --trials=2 --jobs=2 --journal=fig7.journal
   simsweep trace --model=hyperexp --lifetime=150 --duration=2000
 )";
 
@@ -152,9 +173,29 @@ int cmd_run(cli::Args& args) {
   const double trial_timeout = args.get_double("trial-timeout", 0.0);
   const std::string trace_path = args.get_string("trace-decisions", "");
   const auto obs_opts = cli::parse_obs_options(args);
-  auto cfg = cli::build_config(args);
-  const auto model = cli::build_load_model(args);
-  auto strategy = cli::build_strategy(args);
+
+  core::ExperimentConfig cfg;
+  std::shared_ptr<const simsweep::load::LoadModel> model;
+  std::unique_ptr<strat::Strategy> strategy;
+  if (args.has("scenario")) {
+    // Scenario first, flags override: the spec supplies the platform, app,
+    // load model and (first-variant) strategy; any explicit flag wins.
+    scenario::ScenarioSpec spec = scenario::find_scenario(
+        args.get_string("scenario", ""), scenario::default_scenario_dir());
+    cli::apply_config_flags(args, spec);
+    cfg = scenario::base_config(spec);
+    cfg.audit = cli::parse_audit_flag(args);
+    model = args.has("model") ? cli::build_load_model(args)
+                              : scenario::make_load_model(spec.load);
+    if (args.has("strategy") || spec.variants.empty())
+      strategy = cli::build_strategy(args);
+    else
+      strategy = scenario::make_strategy(spec.variants.front().strategy);
+  } else {
+    cfg = cli::build_config(args);
+    model = cli::build_load_model(args);
+    strategy = cli::build_strategy(args);
+  }
   cli::reject_unused(args);
   cfg.obs.metrics = !obs_opts.metrics_path.empty();
   cfg.obs.timeline = !obs_opts.timeline_path.empty();
@@ -272,8 +313,12 @@ int cmd_sweep(cli::Args& args) {
   namespace res = simsweep::resilience;
   res::arm_interrupt_handlers();
 
+  // The classic sweep is just the built-in "sweep" scenario with the
+  // platform/app flags layered on top.
   cli::SweepPlan plan;
+  plan.spec = scenario::sweep_scenario();
   plan.trials = get_count(args, "trials", 8);
+  if (plan.trials == 0) throw std::invalid_argument("sweep: zero --trials");
   plan.jobs = get_count(args, "jobs", 0);
   const bool json = args.get_bool("json");
   const auto obs_opts = cli::parse_obs_options(args);
@@ -289,8 +334,9 @@ int cmd_sweep(cli::Args& args) {
   plan.hooks.stop_after_cells = get_count(args, "stop-after-cells", 0);
   plan.hooks.inject_fail = get_index_list(args, "inject-fail");
   plan.hooks.inject_hang = get_index_list(args, "inject-hang");
-  plan.config = cli::build_config(args);
-  plan.points = args.get_double_list(
+  cli::apply_config_flags(args, plan.spec);
+  plan.audit = cli::parse_audit_flag(args);
+  plan.spec.axis.x = args.get_double_list(
       "points", {0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.8, 1.0});
   cli::reject_unused(args);
 
@@ -331,14 +377,15 @@ int cmd_sweep(cli::Args& args) {
                  plan.journal_path.empty() ? "JOURNAL"
                                            : plan.journal_path.c_str());
 
+  const core::SeriesReport& report = result.reports.front();
   if (json) {
-    result.report.print_json(std::cout, &result.provenance);
+    report.print_json(std::cout, &result.provenance);
     std::cout << '\n';
     if (obs_opts.profile) profiler.print(std::cerr);
   } else {
-    result.report.print_table(std::cout);
+    report.print_table(std::cout);
     std::cout << "\n";
-    result.report.print_csv(std::cout);
+    report.print_csv(std::cout);
     if (obs_opts.profile) profiler.print(std::cout);
   }
   return res::interrupted() ? 130 : 0;
@@ -382,9 +429,25 @@ int main(int argc, char** argv) {
     cli::Args args(std::move(tokens));
     if (command == "run") return cmd_run(args);
     if (command == "sweep") return cmd_sweep(args);
+    if (command == "bench") return cli::cmd_bench(args);
     if (command == "trace") return cmd_trace(args);
     std::fprintf(stderr, "simsweep: unknown command '%s'\n\n%s",
                  command.c_str(), kUsage);
+    return 2;
+  } catch (const scenario::UnknownScenarioError& e) {
+    std::string message = e.what();
+    const std::string suggestion = cli::suggest_flag(e.name(), e.available());
+    if (!suggestion.empty())
+      message += " (did you mean '" + suggestion + "'?)";
+    std::fprintf(stderr, "simsweep: %s\n", message.c_str());
+    if (!e.available().empty()) {
+      std::string names;
+      for (const std::string& n : e.available()) {
+        if (!names.empty()) names += ", ";
+        names += n;
+      }
+      std::fprintf(stderr, "available scenarios: %s\n", names.c_str());
+    }
     return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "simsweep: %s\n", e.what());

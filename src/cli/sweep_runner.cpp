@@ -14,7 +14,6 @@
 
 #include "audit/auditor.hpp"
 #include "core/trial_runner.hpp"
-#include "load/onoff.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
@@ -23,8 +22,6 @@
 #include "resilience/signal.hpp"
 #include "resilience/watchdog.hpp"
 #include "simcore/simulator.hpp"
-#include "strategy/strategy.hpp"
-#include "swap/policy.hpp"
 
 namespace simsweep::cli {
 
@@ -33,34 +30,11 @@ namespace {
 using resilience::JsonValue;
 using resilience::TrialOutcomeKind;
 
-constexpr std::uint64_t kJournalVersion = 1;
-
-/// The sweep's shape inputs beyond the config — kept byte-identical to the
-/// pre-resilience sweep so provenance digests stay stable across versions.
-std::string sweep_extra(
-    const std::vector<double>& points,
-    const std::vector<std::unique_ptr<strategy::Strategy>>& lineup) {
-  std::string extra = "sweep;model=onoff;points=";
-  for (const double x : points) {
-    extra += load::describe_number(x);
-    extra += ',';
-  }
-  extra += ";strategies=";
-  for (const auto& s : lineup) {
-    extra += s->name();
-    extra += '|';
-  }
-  return extra;
-}
-
-/// Digest input identifying one cell; journal records are keyed by its
-/// config_digest so a resumed journal can prove each record still describes
-/// the same simulation.
-std::string cell_extra(double point, const std::string& strategy_name,
-                       std::size_t trials) {
-  return "cell;model=onoff;point=" + load::describe_number(point) +
-         ";strategy=" + strategy_name + ";trials=" + std::to_string(trials);
-}
+/// Version 2: the sweep is a declarative scenario; the header carries the
+/// scenario name and ScenarioSpec::digest() (which folds the full canonical
+/// serialization), and cell keys come from the per-cell key extra.  v1
+/// journals (hard-coded onoff × technique grids) cannot resume into v2.
+constexpr std::uint64_t kJournalVersion = 2;
 
 void write_stats_json(std::ostream& os, const core::TrialStats& s) {
   os << "{\"mean\":";
@@ -160,11 +134,14 @@ struct CellData {
   std::string raw_line;       ///< journal record, adopted verbatim on resume
 };
 
-std::string header_line(const obs::Provenance& prov, std::size_t trials,
+std::string header_line(const std::string& scenario_name,
+                        const obs::Provenance& prov, std::size_t trials,
                         std::size_t points, std::size_t cells) {
   std::ostringstream os;
   os << "{\"kind\":\"sweep-journal\",\"version\":";
   obs::write_json_number(os, kJournalVersion);
+  os << ",\"scenario\":";
+  obs::write_json_string(os, scenario_name);
   os << ",\"sweep\":";
   obs::write_json_string(os, prov.config_digest);
   os << ",\"seed\":";
@@ -214,14 +191,18 @@ std::string cell_record_line(std::size_t index, const std::string& key,
       "); delete the journal or rerun the original command line");
 }
 
-void validate_header(const JsonValue& header, const obs::Provenance& prov,
-                     std::size_t trials, std::size_t cells) {
+void validate_header(const JsonValue& header, const std::string& scenario_name,
+                     const obs::Provenance& prov, std::size_t trials,
+                     std::size_t cells) {
   const JsonValue* kind = header.find("kind");
   if (kind == nullptr || kind->as_string() != "sweep-journal")
     resume_mismatch("not a sweep journal");
   if (header.at("version").as_uint64() != kJournalVersion)
     resume_mismatch("journal version " +
                     std::to_string(header.at("version").as_uint64()));
+  if (header.at("scenario").as_string() != scenario_name)
+    resume_mismatch("scenario " + header.at("scenario").as_string() + " vs " +
+                    scenario_name);
   if (header.at("sweep").as_string() != prov.config_digest)
     resume_mismatch("config digest " + header.at("sweep").as_string() +
                     " vs " + prov.config_digest);
@@ -233,40 +214,48 @@ void validate_header(const JsonValue& header, const obs::Provenance& prov,
     resume_mismatch("cell count mismatch");
 }
 
+/// Metric extraction for one report series at one cell (completed cells
+/// only; callers substitute NaN for cells that never ran).
+double metric_value(scenario::Metric metric, const core::TrialStats& s) {
+  switch (metric) {
+    case scenario::Metric::kMakespan:
+      return s.mean;
+    case scenario::Metric::kAdaptations:
+      return s.mean_adaptations;
+    case scenario::Metric::kCompletionRate:
+      return static_cast<double>(s.trials - s.unfinished) /
+             static_cast<double>(s.trials);
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+double metric_adaptations(scenario::Metric metric, const core::TrialStats& s) {
+  // The completion-rate view pairs each rate with the mean crash
+  // recoveries per run; every other metric keeps the adaptation count.
+  return metric == scenario::Metric::kCompletionRate ? s.mean_recoveries
+                                                     : s.mean_adaptations;
+}
+
 }  // namespace
 
 SweepResult run_sweep(const SweepPlan& plan) {
-  if (plan.points.empty())
-    throw std::invalid_argument("sweep: empty --points grid");
-  if (plan.trials == 0) throw std::invalid_argument("sweep: zero --trials");
+  // materialize() validates the spec (grid kind, non-empty variants/axis,
+  // nonzero trials) and expands the cell grid.
+  const scenario::MaterializedGrid grid =
+      scenario::materialize(plan.spec, plan.trials);
   if (!plan.hooks.inject_hang.empty() && plan.trial_timeout_s <= 0.0)
     throw std::invalid_argument(
         "sweep: hang injection requires --trial-timeout");
 
-  std::vector<std::unique_ptr<strategy::Strategy>> lineup;
-  lineup.push_back(std::make_unique<strategy::NoneStrategy>());
-  lineup.push_back(
-      std::make_unique<strategy::SwapStrategy>(swap::greedy_policy()));
-  lineup.push_back(std::make_unique<strategy::DlbStrategy>());
-  lineup.push_back(
-      std::make_unique<strategy::CrStrategy>(swap::greedy_policy()));
-
-  const std::size_t total = plan.points.size() * lineup.size();
+  const std::size_t total = grid.cells.size();
+  const std::size_t trials = grid.trials;
   const obs::Provenance base_prov =
-      core::make_run_provenance(plan.config, sweep_extra(plan.points, lineup));
+      obs::make_provenance(grid.seed, grid.digest);
 
-  core::ExperimentConfig cfg = plan.config;
-  cfg.obs.metrics = plan.metrics;
-  cfg.obs.timeline = plan.timeline;
-
-  std::vector<std::string> keys(total), labels(total);
-  for (std::size_t index = 0; index < total; ++index) {
-    const double point = plan.points[index / lineup.size()];
-    const std::string& name = lineup[index % lineup.size()]->name();
-    keys[index] =
-        core::config_digest(cfg, cell_extra(point, name, plan.trials));
-    labels[index] = "x=" + load::describe_number(point) + " strategy=" + name;
-  }
+  std::vector<std::string> keys(total);
+  for (std::size_t index = 0; index < total; ++index)
+    keys[index] = core::config_digest(grid.cells[index].config,
+                                      grid.cells[index].key_extra);
 
   std::vector<CellData> cells(total);
   std::size_t reused = 0;
@@ -274,7 +263,8 @@ SweepResult run_sweep(const SweepPlan& plan) {
   if (!plan.resume_path.empty()) {
     const auto records = resilience::read_journal(plan.resume_path);
     if (!records.empty()) {
-      validate_header(records.front().value, base_prov, plan.trials, total);
+      validate_header(records.front().value, plan.spec.name, base_prov,
+                      trials, total);
       // Last record per index wins: a cell that was re-executed (e.g. a
       // previous resume needed metrics the old record lacked) appends a
       // fresh, complete record after the stale one.
@@ -320,8 +310,8 @@ SweepResult run_sweep(const SweepPlan& plan) {
   if (!plan.journal_path.empty()) {
     journal =
         std::make_unique<resilience::JournalWriter>(plan.journal_path);
-    journal->append(header_line(base_prov, plan.trials, plan.points.size(),
-                                total),
+    journal->append(header_line(plan.spec.name, base_prov, trials,
+                                grid.points.size(), total),
                     /*flush_now=*/false);
     for (const CellData& cell : cells)
       if (cell.done) journal->append(cell.raw_line, /*flush_now=*/false);
@@ -361,10 +351,11 @@ SweepResult run_sweep(const SweepPlan& plan) {
       skipped.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    const std::size_t xi = index / lineup.size();
-    const std::size_t si = index % lineup.size();
-    const load::OnOffModel model(
-        load::OnOffParams::dynamism(plan.points[xi]));
+    const scenario::Cell& cell = grid.cells[index];
+    core::ExperimentConfig cfg = cell.config;
+    cfg.obs.metrics = plan.metrics;
+    cfg.obs.timeline = plan.timeline;
+    cfg.audit = plan.audit;
 
     TrialOutcomeKind outcome = TrialOutcomeKind::kCrashed;
     std::string error;
@@ -387,7 +378,7 @@ SweepResult run_sweep(const SweepPlan& plan) {
         // unit); the watchdog flag published for this cell reaches every
         // trial's simulator through the runner's thread-local.
         const auto results = core::run_trials_results(
-            cfg, model, *lineup[si], plan.trials, /*jobs=*/1);
+            cfg, *cell.model, *cell.strategy, trials, /*jobs=*/1);
         CellData data;
         data.stats = core::reduce_trials(results);
         if (plan.metrics) {
@@ -399,17 +390,17 @@ SweepResult run_sweep(const SweepPlan& plan) {
         if (plan.timeline) {
           std::vector<obs::TimelineTracer::Process> processes;
           for (std::size_t t = 0; t < results.size(); ++t)
-            processes.push_back({labels[index] + " trial " + std::to_string(t),
+            processes.push_back({cell.label + " trial " + std::to_string(t),
                                  results[t].timeline.get()});
           std::ostringstream os;
           obs::TimelineTracer::write_chrome_fragment(
               os, processes,
-              static_cast<std::uint32_t>(index * plan.trials + 1));
+              static_cast<std::uint32_t>(index * trials + 1));
           data.timeline_json = os.str();
         }
         data.raw_line =
-            cell_record_line(index, keys[index], base_prov, plan.trials,
-                             labels[index], data, plan.metrics, plan.timeline);
+            cell_record_line(index, keys[index], base_prov, trials,
+                             cell.label, data, plan.metrics, plan.timeline);
         data.done = true;
         cells[index] = std::move(data);
         executed.fetch_add(1, std::memory_order_relaxed);
@@ -440,11 +431,24 @@ SweepResult run_sweep(const SweepPlan& plan) {
     }
     {
       const std::lock_guard<std::mutex> lock(quarantine_mutex);
-      quarantined.push_back({index, keys[index], base_prov.seed, plan.trials,
-                             labels[index], outcome, attempts, error});
+      quarantined.push_back({index, keys[index], base_prov.seed, trials,
+                             cell.label, outcome, attempts, error});
     }
     executed.fetch_add(1, std::memory_order_relaxed);
   });
+
+  // A stalled (deadlocked) run must fail the whole sweep when the scenario
+  // says so: its "makespan" would silently pollute the figure as an
+  // ordinary slow point.
+  if (grid.forbid_stalls) {
+    for (std::size_t index = 0; index < total; ++index) {
+      if (cells[index].done && cells[index].stats.stalled > 0)
+        throw std::runtime_error(
+            "sweep: " + std::to_string(cells[index].stats.stalled) +
+            " stalled run(s) in cell '" + grid.cells[index].label +
+            "' — a strategy deadlocked instead of timing out");
+    }
+  }
 
   SweepResult result;
   result.cells_total = total;
@@ -467,18 +471,26 @@ SweepResult run_sweep(const SweepPlan& plan) {
   result.provenance = base_prov;
   result.provenance.partial = result.partial;
 
-  result.report.title = "sweep: techniques vs ON/OFF dynamism";
-  result.report.x_label = "load_probability";
-  result.report.x = plan.points;
-  for (const auto& s : lineup) result.report.series.push_back({s->name(), {}, {}});
   const double nan = std::numeric_limits<double>::quiet_NaN();
-  for (std::size_t xi = 0; xi < plan.points.size(); ++xi) {
-    for (std::size_t si = 0; si < lineup.size(); ++si) {
-      const CellData& cell = cells[xi * lineup.size() + si];
-      result.report.series[si].y.push_back(cell.done ? cell.stats.mean : nan);
-      result.report.series[si].adaptations.push_back(
-          cell.done ? cell.stats.mean_adaptations : nan);
+  for (const scenario::ReportSpec& spec_report : grid.reports) {
+    core::SeriesReport report;
+    report.title = spec_report.title;
+    report.x_label = grid.x_label;
+    report.x = grid.points;
+    for (const scenario::SeriesSpec& series : spec_report.series)
+      report.series.push_back({series.name, {}, {}});
+    for (std::size_t xi = 0; xi < grid.points.size(); ++xi) {
+      for (std::size_t si = 0; si < spec_report.series.size(); ++si) {
+        const scenario::SeriesSpec& series = spec_report.series[si];
+        const CellData& cell = cells[xi * grid.variant_count + series.variant];
+        report.series[si].y.push_back(
+            cell.done ? metric_value(series.metric, cell.stats) : nan);
+        report.series[si].adaptations.push_back(
+            cell.done ? metric_adaptations(series.metric, cell.stats) : nan);
+      }
     }
+    result.reports.push_back(std::move(report));
+    result.expectations.push_back(spec_report.expectation);
   }
 
   if (plan.metrics) {

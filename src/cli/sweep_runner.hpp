@@ -1,8 +1,10 @@
-// Crash-safe, resumable sweep orchestration.
+// Crash-safe, resumable sweep orchestration over a declarative scenario.
 //
-// `simsweep sweep` compares every technique across a dynamism grid; one
-// pathological cell (point × strategy) used to cost the whole grid.  This
-// runner makes the sweep an interruptible, resumable unit of work:
+// A sweep is any Kind::kGrid ScenarioSpec — the classic `simsweep sweep`
+// dynamism grid, every `simsweep bench` figure/ablation, and the golden
+// fixtures all route through here.  One pathological cell (axis point ×
+// variant) used to cost the whole grid; this runner makes the sweep an
+// interruptible, resumable unit of work:
 //
 //   * every completed cell appends one self-contained record to a
 //     crash-consistent journal (resilience::JournalWriter), carrying its
@@ -20,6 +22,11 @@
 //     stop claiming new cells, flush the journal, and mark every artifact's
 //     provenance "partial":true.
 //
+// Journal records are keyed by config_digest(cell config, cell key extra),
+// and the header carries ScenarioSpec::digest() — the scenario name plus
+// its full canonical serialization — so a resumed journal proves it
+// describes the same experiment down to the load model and policy lineup.
+//
 // Factored out of main() so tests can drive interruption, resumption and
 // fault injection in-process and compare artifact bytes directly.
 #pragma once
@@ -32,6 +39,7 @@
 #include "core/experiment.hpp"
 #include "obs/provenance.hpp"
 #include "resilience/quarantine.hpp"
+#include "scenario/scenario.hpp"
 
 namespace simsweep::cli {
 
@@ -56,10 +64,13 @@ struct SweepHooks {
 };
 
 struct SweepPlan {
-  core::ExperimentConfig config;
-  std::vector<double> points;  ///< ON/OFF dynamism grid (x axis)
-  std::size_t trials = 8;      ///< trials per cell
-  std::size_t jobs = 0;        ///< cell-level parallelism; 0 = default
+  scenario::ScenarioSpec spec;  ///< must be Kind::kGrid
+  std::size_t trials = 0;       ///< trials per cell; 0 = spec.trials
+  std::size_t jobs = 0;         ///< cell-level parallelism; 0 = default
+
+  /// Invariant auditing applied to every cell (checks are read-only, so
+  /// results are bitwise identical with auditing on or off).
+  audit::AuditMode audit = audit::AuditMode::kOff;
 
   bool metrics = false;   ///< collect + merge per-cell metrics registries
   bool timeline = false;  ///< collect + splice per-cell timeline fragments
@@ -79,7 +90,12 @@ struct SweepPlan {
 };
 
 struct SweepResult {
-  core::SeriesReport report;  ///< quarantined/skipped cells hold NaN
+  /// One SeriesReport per scenario ReportSpec (a scenario with none gets a
+  /// default makespan report); quarantined/skipped cells hold NaN.
+  std::vector<core::SeriesReport> reports;
+  /// Paper expectation per report, parallel to `reports` (may span lines).
+  std::vector<std::string> expectations;
+
   obs::Provenance provenance;  ///< partial flag already set
 
   /// Complete artifact bodies (trailing newline included); empty unless the
@@ -100,8 +116,10 @@ struct SweepResult {
 
 /// Runs (or resumes) the sweep described by `plan`.  Throws
 /// std::runtime_error when the resume journal belongs to a different sweep
-/// or is internally inconsistent, and std::invalid_argument on a malformed
-/// plan (empty points, zero trials, hang injection without a watchdog).
+/// or is internally inconsistent, scenario::ScenarioError when the spec is
+/// not a runnable grid, std::invalid_argument on a malformed plan (empty
+/// axis, zero trials, hang injection without a watchdog), and
+/// std::runtime_error when the scenario forbids stalls and a cell stalled.
 [[nodiscard]] SweepResult run_sweep(const SweepPlan& plan);
 
 }  // namespace simsweep::cli

@@ -57,6 +57,7 @@ class Parser {
     if (depth > kMaxDepth) fail("nesting too deep", pos_);
     skip_ws();
     JsonValue value;
+    value.offset = pos_;
     switch (peek()) {
       case '{':
         return parse_object(depth);
@@ -88,6 +89,7 @@ class Parser {
   JsonValue parse_object(int depth) {
     JsonValue value;
     value.kind = JsonValue::Kind::kObject;
+    value.offset = pos_;
     expect('{');
     skip_ws();
     if (peek() == '}') {
@@ -96,10 +98,12 @@ class Parser {
     }
     for (;;) {
       skip_ws();
+      const std::size_t key_off = pos_;
       std::string key = parse_string();
       skip_ws();
       expect(':');
       value.object.emplace_back(std::move(key), parse_value(depth + 1));
+      value.object.back().second.key_offset = key_off;
       skip_ws();
       if (peek() == ',') {
         ++pos_;
@@ -113,6 +117,7 @@ class Parser {
   JsonValue parse_array(int depth) {
     JsonValue value;
     value.kind = JsonValue::Kind::kArray;
+    value.offset = pos_;
     expect('[');
     skip_ws();
     if (peek() == ']') {
@@ -223,6 +228,7 @@ class Parser {
       ++pos_;
     if (pos_ == start) fail("expected a value", start);
     JsonValue value;
+    value.offset = start;
     value.kind = JsonValue::Kind::kNumber;
     value.number = std::string(text_.substr(start, pos_ - start));
     // Validate eagerly so a malformed token fails at parse time with an

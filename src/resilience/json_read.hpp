@@ -13,6 +13,7 @@
 // JsonError with a byte offset.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -32,6 +33,8 @@ class JsonValue {
   enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
 
   Kind kind = Kind::kNull;
+  std::size_t offset = 0;      ///< byte offset of the value's first character
+  std::size_t key_offset = 0;  ///< byte offset of the member key (object children)
   bool boolean = false;
   std::string number;  ///< raw token, e.g. "-3.25e9" (kNumber only)
   std::string string;  ///< decoded text (kString only)

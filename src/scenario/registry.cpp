@@ -1,0 +1,65 @@
+// The shipped-scenario registry: scenarios/*.json by stem name.
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#ifndef SIMSWEEP_SCENARIO_DEFAULT_DIR
+#define SIMSWEEP_SCENARIO_DEFAULT_DIR "scenarios"
+#endif
+
+namespace simsweep::scenario {
+
+ScenarioSpec load_scenario_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ScenarioError("scenario: cannot read '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_scenario(buffer.str(),
+                        std::filesystem::path(path).filename().string());
+}
+
+std::string default_scenario_dir() {
+  const char* env = std::getenv("SIMSWEEP_SCENARIO_DIR");
+  if (env != nullptr && *env != '\0') return env;
+  return SIMSWEEP_SCENARIO_DEFAULT_DIR;
+}
+
+std::vector<std::string> list_scenarios(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::filesystem::path& path = entry.path();
+    if (path.extension() == ".json") names.push_back(path.stem().string());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+ScenarioSpec find_scenario(const std::string& name_or_path,
+                           const std::string& dir) {
+  const bool is_path =
+      name_or_path.find('/') != std::string::npos ||
+      (name_or_path.size() > 5 &&
+       name_or_path.compare(name_or_path.size() - 5, 5, ".json") == 0);
+  if (is_path) return load_scenario_file(name_or_path);
+
+  const std::string path = dir + "/" + name_or_path + ".json";
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(path, ec))
+    throw UnknownScenarioError("unknown scenario '" + name_or_path + "'",
+                               name_or_path, list_scenarios(dir));
+  ScenarioSpec spec = load_scenario_file(path);
+  if (spec.name != name_or_path)
+    throw ScenarioError("scenario file '" + path + "' declares name '" +
+                        spec.name + "' but is registered as '" + name_or_path +
+                        "'");
+  return spec;
+}
+
+}  // namespace simsweep::scenario

@@ -4,11 +4,18 @@
 // Each scenario runs all five techniques on fixed seeds; the recorded
 // makespans, iteration/adaptation counts, overheads and FailureStats were
 // captured from the pre-refactor strategy layer and must stay bitwise
-// identical: the technique-runtime refactor is a pure restructuring and
-// may not move a single simulated event.
+// identical: refactors are pure restructurings and may not move a single
+// simulated event.
+//
+// The configs, load models and technique lineup now come from the shipped
+// scenarios/golden_*.json files — the same declarative specs `simsweep
+// bench` runs — so the golden table also pins the scenario layer: a change
+// to parsing or materialization that alters a config shows up here as a
+// moved makespan.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -16,18 +23,16 @@
 #include <vector>
 
 #include "core/experiment.hpp"
-#include "load/onoff.hpp"
-#include "load/reclamation.hpp"
+#include "scenario/scenario.hpp"
 #include "strategy/strategy.hpp"
-#include "swap/policy.hpp"
 
 namespace golden {
 
 namespace core = simsweep::core;
 namespace app = simsweep::app;
 namespace load = simsweep::load;
+namespace scn = simsweep::scenario;
 namespace strat = simsweep::strategy;
-namespace swp = simsweep::swap;
 
 /// One (scenario, technique, seed) cell of the golden table.
 struct Row {
@@ -47,78 +52,49 @@ inline const std::vector<std::string>& scenarios() {
   return kScenarios;
 }
 
-inline const std::vector<std::string>& techniques() {
-  static const std::vector<std::string> kTechniques{
-      "none", "swap_greedy", "swap_safe_guard", "dlb", "dlb_swap", "cr"};
-  return kTechniques;
-}
-
 inline const std::vector<std::uint64_t>& seeds() {
   static const std::vector<std::uint64_t> kSeeds{1, 2, 3};
   return kSeeds;
 }
 
+/// The shipped golden_<scenario>.json spec, loaded once per scenario.
+inline const scn::ScenarioSpec& spec_for(const std::string& scenario) {
+  static std::map<std::string, scn::ScenarioSpec> cache;
+  auto it = cache.find(scenario);
+  if (it == cache.end())
+    it = cache
+             .emplace(scenario, scn::find_scenario("golden_" + scenario,
+                                                   scn::default_scenario_dir()))
+             .first;
+  return it->second;
+}
+
+/// The technique lineup is the variant list (identical across the four
+/// files; golden_calm is the canonical copy).
+inline const std::vector<std::string>& techniques() {
+  static const std::vector<std::string> kTechniques = [] {
+    std::vector<std::string> names;
+    for (const scn::VariantSpec& v : spec_for("calm").variants)
+      names.push_back(v.name);
+    return names;
+  }();
+  return kTechniques;
+}
+
 /// Paper-shaped platform: 32 hosts, 4 active, full over-allocation.
 inline core::ExperimentConfig config_for(const std::string& scenario) {
-  core::ExperimentConfig cfg;
-  cfg.cluster.host_count = 32;
-  cfg.app = app::AppSpec::with_iteration_minutes(4, 25, 2.0);
-  cfg.app.state_bytes_per_process = 100.0 * app::kMiB;
-  cfg.app.comm_bytes_per_process = 100.0 * app::kKiB;
-  cfg.spare_count = 28;
-  if (scenario == "faulty") {
-    cfg.faults.host_mtbf_s = 8.0 * 3600.0;
-    cfg.faults.swap_fail_prob = 0.2;
-    cfg.faults.checkpoint_fail_prob = 0.2;
-  }
-  if (scenario == "hostile") {
-    // Transfers fail so often that retries run out (abandoned moves) and
-    // destinations pick up enough strikes to be blacklisted.
-    cfg.faults.host_mtbf_s = 12.0 * 3600.0;
-    cfg.faults.swap_fail_prob = 0.85;
-    cfg.faults.checkpoint_fail_prob = 0.5;
-    cfg.faults.blacklist_after = 3;
-  }
-  return cfg;
+  return scn::base_config(spec_for(scenario));
 }
 
 inline std::shared_ptr<const load::LoadModel> model_for(
     const std::string& scenario) {
-  if (scenario == "calm")
-    return std::make_shared<load::OnOffModel>(
-        load::OnOffParams::dynamism(0.3));
-  if (scenario == "faulty")
-    return std::make_shared<load::OnOffModel>(
-        load::OnOffParams::dynamism(0.5));
-  if (scenario == "hostile")
-    return std::make_shared<load::OnOffModel>(
-        load::OnOffParams::dynamism(0.6));
-  if (scenario == "reclaim") {
-    load::ReclamationParams params;
-    params.mean_available_s = 30.0 * 60.0;
-    params.mean_reclaimed_s = 10.0 * 60.0;
-    return std::make_shared<load::ReclamationModel>(
-        std::make_shared<load::OnOffModel>(load::OnOffParams::dynamism(0.2)),
-        params);
-  }
-  throw std::invalid_argument("golden: unknown scenario " + scenario);
+  return scn::make_load_model(spec_for(scenario).load);
 }
 
 inline std::unique_ptr<strat::Strategy> make_technique(
     const std::string& technique) {
-  if (technique == "none") return std::make_unique<strat::NoneStrategy>();
-  if (technique == "swap_greedy")
-    return std::make_unique<strat::SwapStrategy>(swp::greedy_policy());
-  if (technique == "swap_safe_guard") {
-    strat::SwapOptions options;
-    options.eviction_guard = true;
-    return std::make_unique<strat::SwapStrategy>(swp::safe_policy(), options);
-  }
-  if (technique == "dlb") return std::make_unique<strat::DlbStrategy>();
-  if (technique == "dlb_swap")
-    return std::make_unique<strat::DlbSwapStrategy>(swp::greedy_policy());
-  if (technique == "cr")
-    return std::make_unique<strat::CrStrategy>(swp::greedy_policy());
+  for (const scn::VariantSpec& v : spec_for("calm").variants)
+    if (v.name == technique) return scn::make_strategy(v.strategy);
   throw std::invalid_argument("golden: unknown technique " + technique);
 }
 

@@ -10,6 +10,7 @@
 
 #include "audit/auditor.hpp"
 #include "golden_scenarios.hpp"
+#include "load/onoff.hpp"
 #include "net/shared_link.hpp"
 #include "simcore/simulator.hpp"
 #include "swampi/runtime.hpp"

@@ -27,6 +27,7 @@
 #include "resilience/quarantine.hpp"
 #include "resilience/signal.hpp"
 #include "resilience/watchdog.hpp"
+#include "scenario/scenario.hpp"
 #include "simcore/simulator.hpp"
 
 namespace {
@@ -297,11 +298,14 @@ TEST(Signal, SimulateAndClearInterrupt) {
 /// A small but non-trivial sweep: 2 points x 4 strategies = 8 cells.
 cli::SweepPlan small_plan() {
   cli::SweepPlan plan;
-  plan.config.cluster.host_count = 8;
-  plan.config.app = app::AppSpec::with_iteration_minutes(4, 10, 2.0);
-  plan.config.spare_count = 4;
-  plan.config.seed = 1;
-  plan.points = {0.0, 0.3};
+  plan.spec = simsweep::scenario::sweep_scenario();
+  plan.spec.hosts = 8;
+  plan.spec.active = 4;
+  plan.spec.iterations = 10;
+  plan.spec.iter_minutes = 2.0;
+  plan.spec.spares = 4;
+  plan.spec.seed = 1;
+  plan.spec.axis.x = {0.0, 0.3};
   plan.trials = 2;
   plan.jobs = 1;
   plan.hooks.interrupted = [] { return false; };
@@ -310,7 +314,7 @@ cli::SweepPlan small_plan() {
 
 std::string report_json(const cli::SweepResult& result) {
   std::ostringstream os;
-  result.report.print_json(os, &result.provenance);
+  result.reports.front().print_json(os, &result.provenance);
   return os.str();
 }
 
@@ -380,7 +384,7 @@ TEST(SweepResume, MismatchedJournalIsRejected) {
 
   cli::SweepPlan other = plan;
   other.resume_path = journal.str();
-  other.config.seed = 2;  // different sweep, same journal
+  other.spec.seed = 2;  // different sweep, same journal
   EXPECT_THROW((void)cli::run_sweep(other), std::runtime_error);
 }
 
@@ -421,8 +425,8 @@ TEST(SweepQuarantine, RetryExhaustionQuarantinesAndContinues) {
   // left unattempted — cells_executed counts the failed attempt too).
   EXPECT_FALSE(result.partial);
   EXPECT_EQ(result.cells_executed, 8u);
-  EXPECT_TRUE(std::isnan(result.report.series[1].y[0]));
-  EXPECT_FALSE(std::isnan(result.report.series[0].y[0]));
+  EXPECT_TRUE(std::isnan(result.reports.front().series[1].y[0]));
+  EXPECT_FALSE(std::isnan(result.reports.front().series[0].y[0]));
 }
 
 TEST(SweepQuarantine, WatchdogCancelReportsHung) {
@@ -480,11 +484,14 @@ TEST(SweepInterrupt, SignalFlushesJournalAndMarksPartial) {
 
 TEST(SweepPlanValidation, RejectsMalformedPlans) {
   cli::SweepPlan no_points = small_plan();
-  no_points.points.clear();
+  no_points.spec.axis.x.clear();
   EXPECT_THROW((void)cli::run_sweep(no_points), std::invalid_argument);
 
+  // plan.trials == 0 falls back to the spec's count, so both must be zeroed
+  // to exercise the rejection.
   cli::SweepPlan no_trials = small_plan();
   no_trials.trials = 0;
+  no_trials.spec.trials = 0;
   EXPECT_THROW((void)cli::run_sweep(no_trials), std::invalid_argument);
 
   cli::SweepPlan hang_without_watchdog = small_plan();

@@ -1,0 +1,360 @@
+// Tests for the declarative scenario layer: JSON round-trip identity
+// (bitwise numerics), strict parsing with line-context errors, the
+// provenance digest folding in load model and strategy lineup, the registry
+// with did-you-mean support, and the headline bench guarantee — `simsweep
+// bench <name>` is byte-identical to the retired standalone figure binaries
+// whose outputs are recorded under tests/golden_bench/.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+#include <vector>
+
+#include "cli/bench_cmd.hpp"
+#include "scenario/scenario.hpp"
+
+#ifndef SIMSWEEP_BINARY_PATH
+#define SIMSWEEP_BINARY_PATH "simsweep"
+#endif
+#ifndef SIMSWEEP_GOLDEN_BENCH_DIR
+#define SIMSWEEP_GOLDEN_BENCH_DIR "golden_bench"
+#endif
+#ifndef SIMSWEEP_SCENARIO_SRC_DIR
+#define SIMSWEEP_SCENARIO_SRC_DIR "scenarios"
+#endif
+
+namespace {
+
+namespace cli = simsweep::cli;
+namespace scn = simsweep::scenario;
+
+std::string scenario_dir() { return SIMSWEEP_SCENARIO_SRC_DIR; }
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot read " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Runs `command` (already shell-quoted), captures stdout+stderr, and
+/// returns the exit code through `exit_code`.
+std::string run_command(const std::string& command, int& exit_code) {
+  FILE* pipe = ::popen((command + " 2>&1").c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  std::string output;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof buffer, pipe)) > 0)
+    output.append(buffer, n);
+  const int status = ::pclose(pipe);
+  exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return output;
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip identity
+
+TEST(ScenarioRoundTrip, EveryShippedScenarioIsIdentity) {
+  const auto names = scn::list_scenarios(scenario_dir());
+  ASSERT_GE(names.size(), 19u);
+  for (const std::string& name : names) {
+    SCOPED_TRACE(name);
+    const scn::ScenarioSpec spec =
+        scn::load_scenario_file(scenario_dir() + "/" + name + ".json");
+    const std::string canonical = scn::serialize_scenario(spec);
+    const scn::ScenarioSpec reparsed =
+        scn::parse_scenario(canonical, name + " (canonical)");
+    EXPECT_TRUE(spec == reparsed);
+    // Serialization is a fixpoint: canonical text re-serializes to itself.
+    EXPECT_EQ(scn::serialize_scenario(reparsed), canonical);
+  }
+}
+
+TEST(ScenarioRoundTrip, NumbersSurviveBitwise) {
+  scn::ScenarioSpec spec;
+  spec.name = "bitwise";
+  spec.title = "bitwise numerics";
+  spec.iter_minutes = 0.1 + 0.2;  // 0.30000000000000004
+  spec.state_mb = 1e-320;         // subnormal
+  spec.horizon_hours = 1.0 / 3.0;
+  spec.load.p = 0.1;
+  spec.load.q = 2.2250738585072014e-308;  // smallest normal
+  spec.axis.x = {0.0, 0.30000000000000004, 1e22};
+  spec.variants.push_back({"none", {}, std::nullopt, std::nullopt,
+                           std::nullopt});
+  const scn::ScenarioSpec reparsed =
+      scn::parse_scenario(scn::serialize_scenario(spec), "bitwise");
+  EXPECT_TRUE(spec == reparsed);
+  EXPECT_EQ(reparsed.iter_minutes, 0.30000000000000004);
+  EXPECT_EQ(reparsed.state_mb, 1e-320);
+}
+
+// ---------------------------------------------------------------------------
+// Strict parsing
+
+TEST(ScenarioParse, MalformedJsonCarriesSourceName) {
+  try {
+    (void)scn::parse_scenario("{\"name\": ", "broken.json");
+    FAIL() << "expected ScenarioError";
+  } catch (const scn::ScenarioError& e) {
+    EXPECT_NE(std::string(e.what()).find("broken.json"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ScenarioParse, UnknownKeyReportsLineContext) {
+  const std::string text =
+      "{\n"
+      "  \"name\": \"x\",\n"
+      "  \"variants\": [{\"name\": \"none\", \"strategy\": {\"kind\": "
+      "\"none\"}}],\n"
+      "  \"bogus\": 1\n"
+      "}";
+  try {
+    (void)scn::parse_scenario(text, "bad.json");
+    FAIL() << "expected ScenarioError";
+  } catch (const scn::ScenarioError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bogus"), std::string::npos) << what;
+    EXPECT_NE(what.find("bad.json:4:"), std::string::npos) << what;
+  }
+}
+
+TEST(ScenarioParse, WrongValueKindIsRejected) {
+  EXPECT_THROW(
+      (void)scn::parse_scenario(R"({"name": "x", "trials": "eight"})",
+                                "kind.json"),
+      scn::ScenarioError);
+}
+
+// ---------------------------------------------------------------------------
+// Digest: one entry point, everything folded
+
+scn::ScenarioSpec digest_base() {
+  scn::ScenarioSpec spec;
+  spec.name = "digest-probe";
+  spec.variants.push_back({"none", {}, std::nullopt, std::nullopt,
+                           std::nullopt});
+  return spec;
+}
+
+TEST(ScenarioDigest, LoadModelOnlyDifferenceChangesDigest) {
+  // The historical bug: two sweeps differing only in load model shared a
+  // provenance digest because callers forgot to fold the model in.  The
+  // spec digest has no `extra` parameter to forget.
+  scn::ScenarioSpec a = digest_base();
+  scn::ScenarioSpec b = a;
+  b.load.kind = scn::LoadKind::kHyperExp;
+  EXPECT_NE(a.digest(), b.digest());
+
+  scn::ScenarioSpec c = a;
+  c.load.p = 0.31;
+  EXPECT_NE(a.digest(), c.digest());
+}
+
+TEST(ScenarioDigest, StrategyLineupDifferenceChangesDigest) {
+  scn::ScenarioSpec a = digest_base();
+  scn::ScenarioSpec b = a;
+  b.variants[0].strategy.kind = scn::StrategyKind::kSwap;
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(ScenarioDigest, SeedDoesNotChangeDigest) {
+  // Seeds stay out of the digest so resume keys survive seed-bearing reruns
+  // (the journal records the seed separately).
+  scn::ScenarioSpec a = digest_base();
+  scn::ScenarioSpec b = a;
+  b.seed = 99;
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+TEST(ScenarioRegistry, UnknownNameCarriesListingForSuggestions) {
+  try {
+    (void)scn::find_scenario("fig77", scenario_dir());
+    FAIL() << "expected UnknownScenarioError";
+  } catch (const scn::UnknownScenarioError& e) {
+    EXPECT_EQ(e.name(), "fig77");
+    const auto& available = e.available();
+    EXPECT_NE(std::find(available.begin(), available.end(), "fig7"),
+              available.end());
+  }
+}
+
+TEST(ScenarioRegistry, ExplicitPathBypassesRegistry) {
+  const scn::ScenarioSpec spec =
+      scn::find_scenario(scenario_dir() + "/fig4.json", "/nonexistent");
+  EXPECT_EQ(spec.name, "fig4");
+}
+
+// ---------------------------------------------------------------------------
+// Bench byte-identity: every scenario vs the recorded pre-refactor output
+
+class BenchGolden : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BenchGolden, MatchesRecordedOutput) {
+  const std::string name = GetParam();
+  const scn::ScenarioSpec spec = scn::find_scenario(name, scenario_dir());
+  cli::BenchOptions opts;
+  opts.trials = 2;  // the recorded outputs were captured at SIMSWEEP_TRIALS=2
+  std::ostringstream out;
+  ASSERT_EQ(cli::run_bench_scenario(spec, opts, out), 0);
+  EXPECT_EQ(out.str(), read_file(std::string(SIMSWEEP_GOLDEN_BENCH_DIR) +
+                                 "/" + name + ".txt"));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenarios, BenchGolden,
+    ::testing::Values("fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+                      "fig8", "fig9", "fig10", "abl_payback_threshold",
+                      "abl_history_window", "abl_improvement_threshold",
+                      "abl_swap_count", "abl_predictor",
+                      "abl_initial_schedule", "abl_decision_trace",
+                      "ext_reclamation", "ext_dlb_overalloc"),
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      return param_info.param;
+    });
+
+// ---------------------------------------------------------------------------
+// Bench resilience: interrupted-then-resumed == uninterrupted, byte for byte
+
+class TempPath {
+ public:
+  explicit TempPath(const std::string& stem) {
+    static std::atomic<unsigned> counter{0};
+    path_ = (std::filesystem::temp_directory_path() /
+             ("simsweep_" + stem + "_" + std::to_string(::getpid()) + "_" +
+              std::to_string(counter.fetch_add(1))))
+                .string();
+  }
+  ~TempPath() {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+    std::filesystem::remove(path_ + ".tmp", ec);
+  }
+  [[nodiscard]] const std::string& str() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// A small grid scenario (2 points x 4 variants) for resume tests.
+scn::ScenarioSpec small_grid() {
+  scn::ScenarioSpec spec = scn::sweep_scenario();
+  spec.hosts = 8;
+  spec.active = 4;
+  spec.iterations = 10;
+  spec.spares = 4;
+  spec.axis.x = {0.0, 0.3};
+  spec.trials = 2;
+  return spec;
+}
+
+TEST(BenchResume, InterruptedThenResumedIsByteIdentical) {
+  const scn::ScenarioSpec spec = small_grid();
+  cli::BenchOptions opts;
+  opts.jobs = 1;
+  opts.hooks.interrupted = [] { return false; };
+
+  std::ostringstream full;
+  ASSERT_EQ(cli::run_bench_scenario(spec, opts, full), 0);
+
+  TempPath journal("bench_resume");
+  cli::BenchOptions stopped = opts;
+  stopped.journal_path = journal.str();
+  stopped.hooks.stop_after_cells = 3;
+  // The bench report format carries no provenance block (byte parity with
+  // the retired binaries), so "partial" shows only in the stderr diagnostic
+  // and the missing cells' NaN entries.
+  std::ostringstream partial;
+  (void)cli::run_bench_scenario(spec, stopped, partial);
+  EXPECT_NE(partial.str(), full.str());
+
+  cli::BenchOptions resumed = opts;
+  resumed.journal_path = journal.str();
+  resumed.resume_path = journal.str();
+  std::ostringstream second;
+  ASSERT_EQ(cli::run_bench_scenario(spec, resumed, second), 0);
+  EXPECT_EQ(full.str(), second.str());
+}
+
+TEST(BenchResume, EditedScenarioIsRejectedAgainstOldJournal) {
+  const scn::ScenarioSpec spec = small_grid();
+  cli::BenchOptions opts;
+  opts.jobs = 1;
+  opts.hooks.interrupted = [] { return false; };
+
+  TempPath journal("bench_resume_edited");
+  cli::BenchOptions first = opts;
+  first.journal_path = journal.str();
+  std::ostringstream out;
+  ASSERT_EQ(cli::run_bench_scenario(spec, first, out), 0);
+
+  scn::ScenarioSpec edited = spec;
+  edited.load.p = 0.9;  // a different experiment entirely
+  cli::BenchOptions resume = opts;
+  resume.resume_path = journal.str();
+  std::ostringstream ignored;
+  EXPECT_THROW((void)cli::run_bench_scenario(edited, resume, ignored),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// The installed binary end to end
+
+std::string binary_invocation() {
+  return std::string("SIMSWEEP_SCENARIO_DIR=") + scenario_dir() + " " +
+         SIMSWEEP_BINARY_PATH;
+}
+
+TEST(BenchCli, Fig1MatchesRecordedOutputThroughTheBinary) {
+  int exit_code = -1;
+  const std::string output =
+      run_command(binary_invocation() + " bench fig1", exit_code);
+  EXPECT_EQ(exit_code, 0);
+  EXPECT_EQ(output,
+            read_file(std::string(SIMSWEEP_GOLDEN_BENCH_DIR) + "/fig1.txt"));
+}
+
+TEST(BenchCli, ListShowsEveryShippedScenario) {
+  int exit_code = -1;
+  const std::string output =
+      run_command(binary_invocation() + " bench --list", exit_code);
+  EXPECT_EQ(exit_code, 0);
+  for (const std::string& name : scn::list_scenarios(scenario_dir()))
+    EXPECT_NE(output.find(name), std::string::npos) << name;
+}
+
+TEST(BenchCli, UnknownScenarioExitsTwoWithSuggestion) {
+  int exit_code = -1;
+  const std::string output =
+      run_command(binary_invocation() + " bench fig77", exit_code);
+  EXPECT_EQ(exit_code, 2);
+  EXPECT_NE(output.find("unknown scenario 'fig77'"), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("did you mean 'fig7'?"), std::string::npos) << output;
+  EXPECT_NE(output.find("available scenarios:"), std::string::npos) << output;
+}
+
+TEST(BenchCli, MissingNameIsAnError) {
+  int exit_code = -1;
+  const std::string output =
+      run_command(binary_invocation() + " bench", exit_code);
+  EXPECT_EQ(exit_code, 1);
+  EXPECT_NE(output.find("missing scenario name"), std::string::npos)
+      << output;
+}
+
+}  // namespace
