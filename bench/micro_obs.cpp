@@ -4,12 +4,25 @@
 // design promises zero extra work when off and a small constant cost when
 // on (target: <3% wall-clock on this workload); compare the three series'
 // per-iteration times to check both.
+//
+// The status-heartbeat series does the same for live sweep telemetry: the
+// disabled path is one null-pointer check per cell event, an enabled board
+// with a long heartbeat pays only a mutex + counter update per event, and
+// the forced-publish path bounds the cost of one atomic snapshot write.
+// Cell events fire once per cell (seconds of simulation), so even the
+// publish cost is noise at sweep granularity — these benches exist to keep
+// it that way.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <cstdint>
+#include <filesystem>
+#include <string>
 
 #include "bench/bench_util.hpp"
 #include "load/onoff.hpp"
+#include "obs/status.hpp"
 #include "swap/policy.hpp"
 
 namespace {
@@ -55,6 +68,72 @@ void BM_ObsMetricsAndTimeline(benchmark::State& state) {
   run_observed(state, /*metrics=*/true, /*timeline=*/true);
 }
 BENCHMARK(BM_ObsMetricsAndTimeline);
+
+// ---------------------------------------------------------------------------
+// Status heartbeat overhead
+
+std::string bench_status_path() {
+  return (std::filesystem::temp_directory_path() /
+          ("simsweep_bench_status_" + std::to_string(::getpid())))
+      .string();
+}
+
+/// The disabled path the sweep runner takes when --status is absent: the
+/// plan holds a null StatusBoard* and every cell event is one branch.
+/// This must stay indistinguishable from an empty loop.
+void BM_StatusDisabledNullCheck(benchmark::State& state) {
+  simsweep::obs::StatusBoard* status = nullptr;
+  benchmark::DoNotOptimize(status);
+  std::size_t index = 0;
+  for (auto _ : state) {
+    if (status != nullptr) status->cell_started(index);
+    if (status != nullptr) status->cell_finished(index, 0.001);
+    ++index;
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_StatusDisabledNullCheck);
+
+/// An enabled board between heartbeats: mutex + counters + EWMA, no I/O.
+/// The 1-hour heartbeat guarantees the throttle never opens mid-benchmark
+/// (begin_run's forced initial snapshot is outside the timed loop).
+void BM_StatusEnabledCellEvent(benchmark::State& state) {
+  simsweep::obs::StatusBoard::Options options;
+  options.path = bench_status_path();
+  options.heartbeat_s = 3600.0;
+  simsweep::obs::StatusBoard board(options);
+  board.begin_run("bench", simsweep::obs::Provenance{}, 1u << 30, 5, 4,
+                  {"NONE", "SWAP", "DLB", "CR"});
+  std::size_t index = 0;
+  for (auto _ : state) {
+    board.cell_started(index);
+    board.cell_finished(index, 0.001);
+    ++index;
+  }
+  std::filesystem::remove(options.path);
+  std::filesystem::remove(options.path + ".tmp");
+}
+BENCHMARK(BM_StatusEnabledCellEvent);
+
+/// The worst case: heartbeat 0 forces a full snapshot serialization and an
+/// atomic tmp+fsync+rename publish on every cell completion.
+void BM_StatusForcedPublish(benchmark::State& state) {
+  simsweep::obs::StatusBoard::Options options;
+  options.path = bench_status_path();
+  options.heartbeat_s = 0.0;
+  simsweep::obs::StatusBoard board(options);
+  board.begin_run("bench", simsweep::obs::Provenance{}, 1u << 30, 5, 4,
+                  {"NONE", "SWAP", "DLB", "CR"});
+  std::size_t index = 0;
+  for (auto _ : state) {
+    board.cell_started(index);
+    board.cell_finished(index, 0.001);
+    ++index;
+  }
+  std::filesystem::remove(options.path);
+  std::filesystem::remove(options.path + ".tmp");
+}
+BENCHMARK(BM_StatusForcedPublish);
 
 }  // namespace
 

@@ -8,6 +8,8 @@ Usage:
     check_obs_json.py journal    FILE   # sweep/bench --journal JSONL
     check_obs_json.py quarantine FILE   # sweep/bench --quarantine report
     check_obs_json.py scenario   FILE   # scenarios/*.json experiment spec
+    check_obs_json.py status     FILE   # --status live telemetry snapshot
+    check_obs_json.py report     FILE   # `report summary --json` document
 
 Validates structure, not values: every artifact must parse, carry the shared
 provenance block, and obey its schema (histogram counts arrays one longer
@@ -374,6 +376,127 @@ def check_scenario(doc, stem):
                 "scenario: histogram.dynamisms must be non-empty numbers")
 
 
+STATUS_STATES = {"running", "done", "interrupted"}
+
+STATUS_CELL_KEYS = ("total", "done", "reused", "executed", "in_flight",
+                    "retries", "quarantined")
+
+
+def check_status(doc):
+    require(isinstance(doc, dict), "status: top level is not an object")
+    require(doc.get("kind") == "sweep-status",
+            "status: kind != 'sweep-status'")
+    expected = ["kind", "meta", "scenario", "state", "heartbeat_unix_s",
+                "elapsed_s", "heartbeat_s", "jobs", "trials", "cells",
+                "groups", "eta"]
+    keys = [k for k in doc if k != "workers"]  # workers only with --profile
+    require(keys == expected,
+            f"status: top-level keys {list(doc)} != {expected} [+ workers]")
+    check_provenance(doc["meta"], "status")
+    require(isinstance(doc["scenario"], str) and doc["scenario"],
+            "status: scenario must be a non-empty string")
+    state = doc["state"]
+    require(state in STATUS_STATES,
+            f"status: state {state!r} not in {sorted(STATUS_STATES)}")
+    # Anything short of "done" is a partial view of the run; complete
+    # snapshots omit the flag byte-for-byte (same rule as every artifact).
+    require((state != "done") == ("partial" in doc["meta"]),
+            f"status: state {state!r} inconsistent with meta.partial")
+    for key in ("heartbeat_unix_s", "elapsed_s", "heartbeat_s"):
+        require(isinstance(doc[key], (int, float)) and doc[key] >= 0,
+                f"status: {key} must be a non-negative number")
+    for key in ("jobs", "trials"):
+        require(isinstance(doc[key], int) and doc[key] >= 1,
+                f"status: {key} must be a positive integer")
+
+    cells = doc["cells"]
+    require(isinstance(cells, dict) and list(cells) == list(STATUS_CELL_KEYS),
+            f"status: cells keys {list(cells)} != {list(STATUS_CELL_KEYS)}")
+    for key in STATUS_CELL_KEYS:
+        require(isinstance(cells[key], int) and cells[key] >= 0,
+                f"status: cells.{key} must be a non-negative integer")
+    require(cells["done"] <= cells["total"], "status: done > total")
+    require(cells["done"] == cells["reused"] + cells["executed"]
+            + cells["quarantined"],
+            "status: done != reused + executed + quarantined")
+    if state == "done":
+        require(cells["in_flight"] == 0, "status: done with cells in flight")
+
+    groups = doc["groups"]
+    require(isinstance(groups, list), "status: groups is not a list")
+    group_done = group_total = 0
+    for i, group in enumerate(groups):
+        where = f"status: groups[{i}]"
+        require(isinstance(group, dict)
+                and list(group) == ["name", "done", "total"],
+                f"{where} keys != ['name', 'done', 'total']")
+        require(isinstance(group["name"], str) and group["name"],
+                f"{where} name must be a non-empty string")
+        require(0 <= group["done"] <= group["total"],
+                f"{where} done outside [0, total]")
+        group_done += group["done"]
+        group_total += group["total"]
+    if groups:
+        require(group_total == cells["total"],
+                "status: group totals do not sum to cells.total")
+        require(group_done == cells["done"],
+                "status: group done counts do not sum to cells.done")
+
+    eta = doc["eta"]
+    require(isinstance(eta, dict)
+            and list(eta) == ["ewma_cell_s", "eta_s", "percent"],
+            f"status: eta keys {list(eta)} unexpected")
+    for key in ("ewma_cell_s", "eta_s"):
+        require(isinstance(eta[key], (int, float)) and eta[key] >= 0,
+                f"status: eta.{key} must be a non-negative number")
+    require(0.0 <= eta["percent"] <= 100.0,
+            "status: eta.percent outside [0, 100]")
+
+    if "workers" in doc:
+        workers = doc["workers"]
+        require(isinstance(workers, list) and workers,
+                "status: workers must be a non-empty list when present")
+        for i, worker in enumerate(workers):
+            where = f"status: workers[{i}]"
+            require(isinstance(worker, dict)
+                    and list(worker) == ["tasks", "busy_s", "utilization"],
+                    f"{where} keys != ['tasks', 'busy_s', 'utilization']")
+            require(0.0 <= worker["utilization"] <= 1.0,
+                    f"{where} utilization outside [0, 1]")
+
+
+REPORT_KINDS = {"metrics", "timeline", "profile", "journal", "quarantine",
+                "status", "series"}
+
+
+def check_report(doc):
+    require(isinstance(doc, dict), "report: top level is not an object")
+    require(doc.get("kind") == "report-summary",
+            "report: kind != 'report-summary'")
+    require(list(doc) == ["kind", "artifacts"],
+            f"report: top-level keys {list(doc)} != ['kind', 'artifacts']")
+    artifacts = doc["artifacts"]
+    require(isinstance(artifacts, list) and artifacts,
+            "report: artifacts missing or empty")
+    for i, artifact in enumerate(artifacts):
+        where = f"report: artifacts[{i}]"
+        require(isinstance(artifact, dict)
+                and list(artifact) == ["kind", "path", "meta", "values"],
+                f"{where} keys != ['kind', 'path', 'meta', 'values']")
+        require(artifact["kind"] in REPORT_KINDS,
+                f"{where} kind {artifact['kind']!r} not in "
+                f"{sorted(REPORT_KINDS)}")
+        require(isinstance(artifact["path"], str) and artifact["path"],
+                f"{where} path must be a non-empty string")
+        if artifact["meta"] is not None:
+            check_provenance(artifact["meta"], where)
+        values = artifact["values"]
+        require(isinstance(values, dict), f"{where} values is not an object")
+        for key, value in values.items():
+            require(isinstance(value, (int, float)) or value is None,
+                    f"{where} values[{key!r}] must be a number or null")
+
+
 def check_profile(text):
     lines = [ln for ln in text.splitlines() if ln.startswith("profile:")]
     require(lines, "profile: no 'profile:' lines found")
@@ -393,7 +516,7 @@ def check_profile(text):
 
 def main(argv):
     kinds = ("metrics", "timeline", "profile", "journal", "quarantine",
-             "scenario")
+             "scenario", "status", "report")
     if len(argv) != 3 or argv[1] not in kinds:
         sys.stderr.write(__doc__)
         return 2
@@ -412,7 +535,8 @@ def main(argv):
         else:
             doc = json.loads(raw)
             checker = {"metrics": check_metrics, "timeline": check_timeline,
-                       "quarantine": check_quarantine}[kind]
+                       "quarantine": check_quarantine, "status": check_status,
+                       "report": check_report}[kind]
             checker(doc)
     except CheckFailed as err:
         print(f"check_obs_json: FAIL ({path}): {err}", file=sys.stderr)

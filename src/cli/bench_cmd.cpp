@@ -6,9 +6,10 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
+#include <memory>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 #include <string_view>
 #include <vector>
@@ -16,7 +17,9 @@
 #include "cli/config_build.hpp"
 #include "load/hyperexp.hpp"
 #include "load/onoff.hpp"
+#include "obs/atomic_write.hpp"
 #include "obs/profiler.hpp"
+#include "obs/status.hpp"
 #include "platform/host.hpp"
 #include "resilience/quarantine.hpp"
 #include "resilience/signal.hpp"
@@ -90,14 +93,6 @@ std::size_t resolve_trials(const BenchOptions& opts,
   return spec.trials;
 }
 
-std::ofstream open_output(const std::string& path, const char* flag) {
-  std::ofstream out(path);
-  if (!out)
-    throw std::runtime_error(std::string("cannot open --") + flag +
-                             " file '" + path + "'");
-  return out;
-}
-
 // ---------------------------------------------------------------------------
 // Kind::kGrid — through the sweep runner.
 
@@ -117,6 +112,7 @@ int run_grid(const scenario::ScenarioSpec& spec, const BenchOptions& opts,
   plan.journal_path = opts.journal_path;
   plan.resume_path = opts.resume_path;
   plan.profiler = opts.profiler;
+  plan.status = opts.status;
   plan.hooks = opts.hooks;
 
   const SweepResult result = run_sweep(plan);
@@ -133,17 +129,20 @@ int run_grid(const scenario::ScenarioSpec& spec, const BenchOptions& opts,
                  std::string(resilience::to_string(record.outcome)).c_str(),
                  record.attempts, record.error.c_str());
   if (!opts.quarantine_path.empty()) {
-    auto qout = open_output(opts.quarantine_path, "quarantine");
-    resilience::write_quarantine_json(qout, result.quarantined,
+    std::ostringstream qos;
+    resilience::write_quarantine_json(qos, result.quarantined,
                                       &result.provenance);
+    obs::atomic_write_file(opts.quarantine_path, qos.str());
   }
-  if (plan.metrics) {
-    auto mout = open_output(opts.metrics_path, "metrics");
-    mout << result.metrics_json;
-  }
-  if (plan.timeline) {
-    auto tout = open_output(opts.timeline_path, "timeline");
-    tout << result.timeline_json;
+  if (plan.metrics)
+    obs::atomic_write_file(opts.metrics_path, result.metrics_json);
+  if (plan.timeline)
+    obs::atomic_write_file(opts.timeline_path, result.timeline_json);
+  if (!opts.profile_json_path.empty() && opts.profiler != nullptr) {
+    std::ostringstream pos;
+    opts.profiler->write_json(pos, &result.provenance);
+    pos << '\n';
+    obs::atomic_write_file(opts.profile_json_path, pos.str());
   }
   if (result.partial)
     std::fprintf(stderr,
@@ -428,8 +427,10 @@ int cmd_bench(Args& args) {
   opts.jobs = get_count(args, "jobs", 0);
   opts.audit = parse_audit_flag(args);
   const ObsOptions obs_opts = parse_obs_options(args);
+  const StatusOptions status_opts = parse_status_options(args);
   opts.metrics_path = obs_opts.metrics_path;
   opts.timeline_path = obs_opts.timeline_path;
+  opts.profile_json_path = obs_opts.profile_path;
   opts.trial_timeout_s = args.get_double("trial-timeout", 0.0);
   opts.trial_retries = get_count(args, "trial-retries", 1);
   opts.resume_path = args.get_string("resume", "");
@@ -447,7 +448,16 @@ int cmd_bench(Args& args) {
   reject_unused(args);
 
   obs::TrialProfiler profiler;
-  if (obs_opts.profile) opts.profiler = &profiler;
+  if (obs_opts.want_profiler()) opts.profiler = &profiler;
+  std::unique_ptr<obs::StatusBoard> status;
+  if (status_opts.enabled()) {
+    obs::StatusBoard::Options board_opts;
+    board_opts.path = status_opts.path;
+    board_opts.heartbeat_s = status_opts.heartbeat_s;
+    board_opts.progress = status_opts.progress;
+    status = std::make_unique<obs::StatusBoard>(board_opts);
+    opts.status = status.get();
+  }
   const int code = run_bench_scenario(spec, opts, std::cout);
   // The profile goes to stderr so stdout stays the byte-exact report.
   if (obs_opts.profile) profiler.print(std::cerr);

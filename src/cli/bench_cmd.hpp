@@ -44,6 +44,14 @@ struct BenchOptions {
   SweepHooks hooks;  ///< test hooks, forwarded to the sweep runner
 
   obs::TrialProfiler* profiler = nullptr;  ///< grid kinds only; may be null
+
+  /// Trial-engine profile as a JSON artifact (grid kinds only); "" = off.
+  /// Requires `profiler`.
+  std::string profile_json_path;
+
+  /// Live-telemetry board (grid kinds only); null = telemetry off.  Must
+  /// outlive run_bench_scenario.
+  obs::StatusBoard* status = nullptr;
 };
 
 /// Runs `spec` and writes its report(s) to `out` (the byte-exact bench

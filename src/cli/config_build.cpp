@@ -179,6 +179,7 @@ ObsOptions parse_obs_options(Args& args, const char* metrics_env,
   opts.timeline_path = args.get_string("timeline", "");
   if (opts.timeline_path.empty() && timeline_env != nullptr)
     opts.timeline_path = timeline_env;
+  opts.profile_path = args.get_string("profile-json", "");
   opts.profile = args.get_bool("profile");
   return opts;
 }
@@ -186,6 +187,26 @@ ObsOptions parse_obs_options(Args& args, const char* metrics_env,
 ObsOptions parse_obs_options(Args& args) {
   return parse_obs_options(args, std::getenv("SIMSWEEP_METRICS"),
                            std::getenv("SIMSWEEP_TIMELINE"));
+}
+
+StatusOptions parse_status_options(Args& args, const char* status_env) {
+  StatusOptions opts;
+  opts.path = args.get_string("status", "");
+  if (opts.path.empty() && status_env != nullptr) opts.path = status_env;
+  opts.heartbeat_s = args.get_double("status-interval", opts.heartbeat_s);
+  if (opts.heartbeat_s < 0.0)
+    throw std::invalid_argument("--status-interval must be >= 0");
+  opts.progress = args.get_bool("progress");
+  if (opts.progress && opts.path.empty()) {
+    // --progress without --status still wants the ETA machinery; aim the
+    // snapshots at the bit bucket so only the stderr line remains.
+    opts.path = "/dev/null";
+  }
+  return opts;
+}
+
+StatusOptions parse_status_options(Args& args) {
+  return parse_status_options(args, std::getenv("SIMSWEEP_STATUS"));
 }
 
 void reject_unused(const Args& args) {

@@ -11,17 +11,21 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "cli/bench_cmd.hpp"
 #include "cli/config_build.hpp"
+#include "cli/report_cmd.hpp"
 #include "cli/sweep_runner.hpp"
 #include "core/trial_runner.hpp"
 #include "load/onoff.hpp"
+#include "obs/atomic_write.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "obs/status.hpp"
 #include "obs/timeline.hpp"
 #include "platform/host.hpp"
 #include "resilience/quarantine.hpp"
@@ -48,6 +52,8 @@ commands:
   sweep   compare NONE/SWAP/DLB/CR across ON/OFF dynamism
   bench   run a declarative scenario (paper figures, ablations) by name
   trace   emit a CPU-load trace as CSV
+  status  pretty-print a live --status snapshot (exit 4 when stale)
+  report  analyze artifacts: summary | diff A B (exit 3 on regression) | top
   help    this text
 
 scenario flags (run, bench):
@@ -91,6 +97,36 @@ observability flags (run, sweep, bench):
   --profile  measure the trial engine itself (wall-clock): per-trial
              duration, queue wait, per-worker utilization.  Printed after
              the results (stderr under --json and bench).
+  --profile-json=FILE  write the same trial-engine profile as a JSON
+             artifact (readable by `simsweep report`).
+  All artifact files (--metrics/--timeline/--quarantine/--status/
+  --profile-json, and the journal) are published atomically: write-temp +
+  fsync + rename, so a SIGKILL can never leave a torn file.
+
+live telemetry flags (sweep, bench):
+  --status=FILE    periodically publish an atomic status snapshot JSON:
+             cells done/total per strategy, retries, quarantines, worker
+             utilization, and an EWMA-based wall-clock ETA.  The file is
+             written before the first cell runs and marked "partial":true
+             until the sweep completes, so a killed run always leaves a
+             parseable snapshot.  Env fallback: SIMSWEEP_STATUS.  Inspect
+             with `simsweep status FILE`.
+  --status-interval=SECONDS  min seconds between heartbeats (default 1)
+  --progress       one-line progress/ETA updates on stderr (implies status
+             tracking; without --status the snapshots go to /dev/null)
+
+artifact analysis (report, status):
+  report summary FILE...      per-artifact summary (human table; --json for
+             one canonical JSON document)
+  report diff A B             compare two runs' artifacts key by key;
+             --abs-tol/--rel-tol bound acceptable drift (default 0 = exact);
+             exits 3 when a metric regressed beyond tolerance, so CI can
+             gate on it
+  report top FILE [--limit=N] slowest cells of a profile / hottest
+             histogram buckets of a metrics snapshot
+  status FILE [--stale-after=SECONDS]  pretty-print a --status snapshot;
+             exits 4 when the run claims to be live but the heartbeat is
+             older than --stale-after (default 30)
 
 resilience flags:
   --trial-timeout=SECONDS  (run, sweep, bench) wall-clock watchdog per trial
@@ -205,7 +241,7 @@ int cmd_run(cli::Args& args) {
   core::TrialStats stats;
   simsweep::obs::TrialProfiler profiler;
   const bool need_results = !trace_path.empty() || cfg.obs.any();
-  if (!need_results && !obs_opts.profile && trial_timeout <= 0.0) {
+  if (!need_results && !obs_opts.want_profiler() && trial_timeout <= 0.0) {
     stats = core::run_trials_parallel(cfg, *model, *strategy, trials, jobs);
   } else {
     // Tracing and observability never touch the simulation, so stats match
@@ -219,18 +255,18 @@ int cmd_run(cli::Args& args) {
       core::TrialRunner runner(jobs);
       runner.set_trial_guard(&watchdog);
       try {
-        results =
-            core::run_trials_results(cfg, *model, *strategy, trials, runner,
-                                     obs_opts.profile ? &profiler : nullptr);
+        results = core::run_trials_results(
+            cfg, *model, *strategy, trials, runner,
+            obs_opts.want_profiler() ? &profiler : nullptr);
       } catch (const simsweep::sim::RunCancelled&) {
         throw std::runtime_error(
             "trial hung: exceeded --trial-timeout after " +
             std::to_string(trial_timeout) + " s of wall-clock time");
       }
     } else {
-      results =
-          core::run_trials_results(cfg, *model, *strategy, trials, jobs,
-                                   obs_opts.profile ? &profiler : nullptr);
+      results = core::run_trials_results(
+          cfg, *model, *strategy, trials, jobs,
+          obs_opts.want_profiler() ? &profiler : nullptr);
     }
     if (!trace_path.empty()) {
       auto out = open_output(trace_path, "trace-decisions");
@@ -240,9 +276,10 @@ int cmd_run(cli::Args& args) {
     }
     if (cfg.obs.metrics) {
       const auto merged = core::merge_trial_metrics(results);
-      auto out = open_output(obs_opts.metrics_path, "metrics");
-      merged->write_json(out, &prov);
-      out << '\n';
+      std::ostringstream os;
+      merged->write_json(os, &prov);
+      os << '\n';
+      simsweep::obs::atomic_write_file(obs_opts.metrics_path, os.str());
     }
     if (cfg.obs.timeline) {
       std::vector<simsweep::obs::TimelineTracer::Process> processes;
@@ -250,11 +287,18 @@ int cmd_run(cli::Args& args) {
         if (results[t].timeline)
           processes.push_back(
               {"trial " + std::to_string(t), results[t].timeline.get()});
-      auto out = open_output(obs_opts.timeline_path, "timeline");
-      simsweep::obs::TimelineTracer::write_chrome_json(out, processes, &prov);
-      out << '\n';
+      std::ostringstream os;
+      simsweep::obs::TimelineTracer::write_chrome_json(os, processes, &prov);
+      os << '\n';
+      simsweep::obs::atomic_write_file(obs_opts.timeline_path, os.str());
     }
     stats = core::reduce_trials(results);
+  }
+  if (!obs_opts.profile_path.empty()) {
+    std::ostringstream os;
+    profiler.write_json(os, &prov);
+    os << '\n';
+    simsweep::obs::atomic_write_file(obs_opts.profile_path, os.str());
   }
   if (json) {
     stats.print_json(std::cout, &prov);
@@ -322,6 +366,7 @@ int cmd_sweep(cli::Args& args) {
   plan.jobs = get_count(args, "jobs", 0);
   const bool json = args.get_bool("json");
   const auto obs_opts = cli::parse_obs_options(args);
+  const auto status_opts = cli::parse_status_options(args);
   plan.metrics = !obs_opts.metrics_path.empty();
   plan.timeline = !obs_opts.timeline_path.empty();
   plan.trial_timeout_s = args.get_double("trial-timeout", 0.0);
@@ -341,7 +386,16 @@ int cmd_sweep(cli::Args& args) {
   cli::reject_unused(args);
 
   simsweep::obs::TrialProfiler profiler;
-  if (obs_opts.profile) plan.profiler = &profiler;
+  if (obs_opts.want_profiler()) plan.profiler = &profiler;
+  std::unique_ptr<simsweep::obs::StatusBoard> status;
+  if (status_opts.enabled()) {
+    simsweep::obs::StatusBoard::Options board_opts;
+    board_opts.path = status_opts.path;
+    board_opts.heartbeat_s = status_opts.heartbeat_s;
+    board_opts.progress = status_opts.progress;
+    status = std::make_unique<simsweep::obs::StatusBoard>(board_opts);
+    plan.status = status.get();
+  }
 
   const cli::SweepResult result = cli::run_sweep(plan);
 
@@ -357,16 +411,21 @@ int cmd_sweep(cli::Args& args) {
                  std::string(res::to_string(record.outcome)).c_str(),
                  record.attempts, record.error.c_str());
   if (!quarantine_path.empty()) {
-    auto out = open_output(quarantine_path, "quarantine");
-    res::write_quarantine_json(out, result.quarantined, &result.provenance);
+    std::ostringstream os;
+    res::write_quarantine_json(os, result.quarantined, &result.provenance);
+    simsweep::obs::atomic_write_file(quarantine_path, os.str());
   }
-  if (plan.metrics) {
-    auto out = open_output(obs_opts.metrics_path, "metrics");
-    out << result.metrics_json;
-  }
-  if (plan.timeline) {
-    auto out = open_output(obs_opts.timeline_path, "timeline");
-    out << result.timeline_json;
+  if (plan.metrics)
+    simsweep::obs::atomic_write_file(obs_opts.metrics_path,
+                                     result.metrics_json);
+  if (plan.timeline)
+    simsweep::obs::atomic_write_file(obs_opts.timeline_path,
+                                     result.timeline_json);
+  if (!obs_opts.profile_path.empty()) {
+    std::ostringstream os;
+    profiler.write_json(os, &result.provenance);
+    os << '\n';
+    simsweep::obs::atomic_write_file(obs_opts.profile_path, os.str());
   }
   if (result.partial)
     std::fprintf(stderr,
@@ -431,6 +490,8 @@ int main(int argc, char** argv) {
     if (command == "sweep") return cmd_sweep(args);
     if (command == "bench") return cli::cmd_bench(args);
     if (command == "trace") return cmd_trace(args);
+    if (command == "status") return cli::cmd_status(args);
+    if (command == "report") return cli::cmd_report(args);
     std::fprintf(stderr, "simsweep: unknown command '%s'\n\n%s",
                  command.c_str(), kUsage);
     return 2;

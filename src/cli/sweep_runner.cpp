@@ -16,6 +16,7 @@
 #include "core/trial_runner.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/status.hpp"
 #include "obs/timeline.hpp"
 #include "resilience/journal.hpp"
 #include "resilience/json_read.hpp"
@@ -327,6 +328,19 @@ SweepResult run_sweep(const SweepPlan& plan) {
   if (watchdog) runner.set_trial_guard(watchdog.get());
   if (plan.profiler != nullptr) runner.set_profiler(plan.profiler);
 
+  obs::StatusBoard* const status = plan.status;
+  if (status != nullptr) {
+    std::vector<std::string> group_names;
+    group_names.reserve(plan.spec.variants.size());
+    for (const scenario::VariantSpec& variant : plan.spec.variants)
+      group_names.push_back(variant.name);
+    status->begin_run(plan.spec.name, base_prov, total, trials,
+                      runner.parallelism(), std::move(group_names));
+    if (plan.profiler != nullptr) status->set_profiler(plan.profiler);
+    for (std::size_t index = 0; index < total; ++index)
+      if (cells[index].done) status->cell_reused(index);
+  }
+
   std::atomic<std::size_t> executed{0};
   std::atomic<std::size_t> skipped{0};
   std::mutex quarantine_mutex;
@@ -356,6 +370,9 @@ SweepResult run_sweep(const SweepPlan& plan) {
     cfg.obs.metrics = plan.metrics;
     cfg.obs.timeline = plan.timeline;
     cfg.audit = plan.audit;
+
+    if (status != nullptr) status->cell_started(index);
+    const auto cell_epoch = std::chrono::steady_clock::now();
 
     TrialOutcomeKind outcome = TrialOutcomeKind::kCrashed;
     std::string error;
@@ -405,6 +422,11 @@ SweepResult run_sweep(const SweepPlan& plan) {
         cells[index] = std::move(data);
         executed.fetch_add(1, std::memory_order_relaxed);
         if (journal) journal->append(cells[index].raw_line);
+        if (status != nullptr)
+          status->cell_finished(
+              index, std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - cell_epoch)
+                         .count());
         return;
       } catch (const audit::AuditFailure& e) {
         outcome = TrialOutcomeKind::kAuditFailed;
@@ -421,6 +443,7 @@ SweepResult run_sweep(const SweepPlan& plan) {
         error = e.what();
       }
       if (attempts > plan.trial_retries) break;
+      if (status != nullptr) status->cell_retried(index);
       if (plan.retry_backoff_s > 0.0) {
         const double backoff_s = std::min(
             plan.retry_backoff_s * std::pow(2.0, double(attempts - 1)), 1.0);
@@ -435,6 +458,7 @@ SweepResult run_sweep(const SweepPlan& plan) {
                              cell.label, outcome, attempts, error});
     }
     executed.fetch_add(1, std::memory_order_relaxed);
+    if (status != nullptr) status->cell_quarantined(index);
   });
 
   // A stalled (deadlocked) run must fail the whole sweep when the scenario
@@ -470,6 +494,9 @@ SweepResult run_sweep(const SweepPlan& plan) {
 
   result.provenance = base_prov;
   result.provenance.partial = result.partial;
+
+  if (status != nullptr)
+    status->finish(result.partial ? "interrupted" : "done");
 
   const double nan = std::numeric_limits<double>::quiet_NaN();
   for (const scenario::ReportSpec& spec_report : grid.reports) {

@@ -41,6 +41,10 @@
 #include "resilience/quarantine.hpp"
 #include "scenario/scenario.hpp"
 
+namespace simsweep::obs {
+class StatusBoard;
+}
+
 namespace simsweep::cli {
 
 /// Test/CI hooks; all inert by default.
@@ -85,6 +89,13 @@ struct SweepPlan {
   /// Optional wall-clock profiler attached to the cell runner (one entry
   /// per executed cell).  Must outlive run_sweep.
   obs::TrialProfiler* profiler = nullptr;
+
+  /// Optional live-telemetry board (--status): every cell lifecycle event
+  /// is reported through a null check here, and the board periodically
+  /// publishes an atomic status snapshot.  Status observation never touches
+  /// the simulation, so results are bitwise identical with it on or off.
+  /// Must outlive run_sweep.
+  obs::StatusBoard* status = nullptr;
 
   SweepHooks hooks;
 };

@@ -1,0 +1,87 @@
+#include "obs/atomic_write.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace simsweep::obs {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what, const std::string& path) {
+  throw std::runtime_error("atomic_write: " + what + " '" + path +
+                           "': " + std::strerror(errno));
+}
+
+/// Directory part of `path` ("." when there is none), for the post-rename
+/// directory fsync that makes the new name itself durable.
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+void write_all(int fd, std::string_view contents, const std::string& path) {
+  std::size_t written = 0;
+  while (written < contents.size()) {
+    const ssize_t n =
+        ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      fail_errno("write", path);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+/// True when `path` exists and is not a regular file (device node, pipe,
+/// socket): rename would replace the special file with a regular one, so the
+/// caller must write into it directly instead.
+bool is_special_target(const std::string& path) {
+  struct stat st {};
+  if (::stat(path.c_str(), &st) != 0) return false;  // absent: regular publish
+  return !S_ISREG(st.st_mode);
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, std::string_view contents) {
+  if (is_special_target(path)) {
+    const int fd = ::open(path.c_str(), O_WRONLY);
+    if (fd < 0) fail_errno("open", path);
+    write_all(fd, contents, path);
+    if (::close(fd) != 0) fail_errno("close", path);
+    return;
+  }
+
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail_errno("open", tmp);
+  write_all(fd, contents, tmp);
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    fail_errno("fsync", tmp);
+  }
+  if (::close(fd) != 0) fail_errno("close", tmp);
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) fail_errno("rename", tmp);
+
+  // fsync the directory so the rename (the publish) is itself durable.
+  const std::string dir = parent_dir(path);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    if (::fsync(dfd) != 0) {
+      ::close(dfd);
+      fail_errno("fsync", dir);
+    }
+    ::close(dfd);
+  }
+}
+
+}  // namespace simsweep::obs

@@ -1,0 +1,27 @@
+// Crash-consistent file publication for every JSON artifact emitter.
+//
+// The sweep journal proved the discipline: write the full contents to
+// `<path>.tmp`, fsync, atomically rename over `<path>`, fsync the directory.
+// A reader then only ever sees either the previous complete file or the new
+// complete file — SIGKILL at any instant cannot leave a torn, half-written
+// artifact.  This header gives the same guarantee to the one-shot artifacts
+// (--metrics, --timeline, --quarantine, --status, --profile-json) that used
+// to stream straight into an ofstream.
+//
+// Special targets (/dev/null, pipes, character devices) cannot be renamed
+// over without destroying them; for those the helper falls back to a plain
+// write, which is fine — nothing durable was requested.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace simsweep::obs {
+
+/// Durably replaces `path` with `contents` (tmp + fsync + rename + directory
+/// fsync).  When `path` names an existing non-regular file (e.g.
+/// /dev/null), writes straight into it instead.  Throws std::runtime_error
+/// with the failing step and errno text on any I/O failure.
+void atomic_write_file(const std::string& path, std::string_view contents);
+
+}  // namespace simsweep::obs

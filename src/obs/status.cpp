@@ -1,0 +1,239 @@
+#include "obs/status.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "obs/atomic_write.hpp"
+#include "obs/json.hpp"
+#include "obs/profiler.hpp"
+
+namespace simsweep::obs {
+
+EtaEstimator::EtaEstimator(double alpha) : alpha_(alpha) {
+  if (!(alpha > 0.0) || alpha > 1.0)
+    alpha_ = 0.25;  // nonsense weight: fall back to the default
+}
+
+void EtaEstimator::record(double duration_s) {
+  if (!(duration_s >= 0.0)) duration_s = 0.0;  // rejects NaN too
+  if (completed_ == 0)
+    ewma_s_ = duration_s;
+  else
+    ewma_s_ = alpha_ * duration_s + (1.0 - alpha_) * ewma_s_;
+  ++completed_;
+}
+
+double EtaEstimator::eta_s(std::size_t cells_remaining,
+                           std::size_t jobs) const noexcept {
+  if (completed_ == 0 || cells_remaining == 0) return 0.0;
+  const double workers = static_cast<double>(std::max<std::size_t>(1, jobs));
+  return ewma_s_ * static_cast<double>(cells_remaining) / workers;
+}
+
+StatusBoard::StatusBoard(Options options) : options_(std::move(options)),
+                                            eta_(options_.eta_alpha) {
+  epoch_ = std::chrono::steady_clock::now();
+  last_write_ = epoch_;
+}
+
+void StatusBoard::begin_run(const std::string& scenario,
+                            const Provenance& provenance,
+                            std::size_t cells_total, std::size_t trials,
+                            std::size_t jobs,
+                            std::vector<std::string> group_names) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  scenario_ = scenario;
+  provenance_ = provenance;
+  cells_total_ = cells_total;
+  trials_ = trials;
+  jobs_ = std::max<std::size_t>(1, jobs);
+  groups_.clear();
+  if (!group_names.empty()) {
+    const std::size_t n = group_names.size();
+    groups_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      Group g;
+      g.name = std::move(group_names[i]);
+      // The grid is x-major: cell index % group-count selects the group, so
+      // the first (total % n) groups get one extra cell when it divides
+      // unevenly (it never does for a full grid, but resumed partial plans
+      // keep the same mapping).
+      g.total = cells_total / n + (i < cells_total % n ? 1 : 0);
+      groups_.push_back(std::move(g));
+    }
+  }
+  // Publish immediately: a kill before the first cell completes must still
+  // leave a parseable, partial-marked snapshot on disk.
+  write_snapshot_locked("running", /*force=*/true);
+}
+
+void StatusBoard::set_profiler(const TrialProfiler* profiler) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  profiler_ = profiler;
+}
+
+void StatusBoard::cell_reused(std::size_t index) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++done_;
+  ++reused_;
+  if (!groups_.empty()) ++groups_[index % groups_.size()].done;
+  write_snapshot_locked("running", /*force=*/false);
+}
+
+void StatusBoard::cell_started(std::size_t) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++in_flight_;
+  write_snapshot_locked("running", /*force=*/false);
+}
+
+void StatusBoard::cell_retried(std::size_t) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++retries_;
+  write_snapshot_locked("running", /*force=*/false);
+}
+
+void StatusBoard::cell_quarantined(std::size_t index) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (in_flight_ > 0) --in_flight_;
+  ++done_;
+  ++quarantined_;
+  if (!groups_.empty()) ++groups_[index % groups_.size()].done;
+  write_snapshot_locked("running", /*force=*/false);
+}
+
+void StatusBoard::cell_finished(std::size_t index, double duration_s) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (in_flight_ > 0) --in_flight_;
+  ++done_;
+  ++executed_;
+  if (!groups_.empty()) ++groups_[index % groups_.size()].done;
+  eta_.record(duration_s);
+  write_snapshot_locked("running", /*force=*/false);
+}
+
+void StatusBoard::finish(const std::string& state) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  write_snapshot_locked(state, /*force=*/true);
+}
+
+std::string StatusBoard::snapshot_json() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return snapshot_json_locked("running");
+}
+
+double StatusBoard::elapsed_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+std::string StatusBoard::snapshot_json_locked(const std::string& state) {
+  std::ostringstream os;
+  os << "{\"kind\":\"sweep-status\",\"meta\":";
+  Provenance meta = provenance_;
+  // Anything short of "done" is a partial view of the run; a monitor (or
+  // `report`) must not treat it as a complete result.
+  meta.partial = provenance_.partial || state != "done";
+  meta.write_json(os);
+  os << ",\"scenario\":";
+  write_json_string(os, scenario_);
+  os << ",\"state\":";
+  write_json_string(os, state);
+  const double unix_s =
+      std::chrono::duration<double>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  os << ",\"heartbeat_unix_s\":";
+  write_json_number(os, unix_s);
+  os << ",\"elapsed_s\":";
+  write_json_number(os, elapsed_s());
+  os << ",\"heartbeat_s\":";
+  write_json_number(os, options_.heartbeat_s);
+  os << ",\"jobs\":";
+  write_json_number(os, static_cast<std::uint64_t>(jobs_));
+  os << ",\"trials\":";
+  write_json_number(os, static_cast<std::uint64_t>(trials_));
+  os << ",\"cells\":{\"total\":";
+  write_json_number(os, static_cast<std::uint64_t>(cells_total_));
+  os << ",\"done\":";
+  write_json_number(os, static_cast<std::uint64_t>(done_));
+  os << ",\"reused\":";
+  write_json_number(os, static_cast<std::uint64_t>(reused_));
+  os << ",\"executed\":";
+  write_json_number(os, static_cast<std::uint64_t>(executed_));
+  os << ",\"in_flight\":";
+  write_json_number(os, static_cast<std::uint64_t>(in_flight_));
+  os << ",\"retries\":";
+  write_json_number(os, static_cast<std::uint64_t>(retries_));
+  os << ",\"quarantined\":";
+  write_json_number(os, static_cast<std::uint64_t>(quarantined_));
+  os << "},\"groups\":[";
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    if (i != 0) os << ',';
+    os << "{\"name\":";
+    write_json_string(os, groups_[i].name);
+    os << ",\"done\":";
+    write_json_number(os, static_cast<std::uint64_t>(groups_[i].done));
+    os << ",\"total\":";
+    write_json_number(os, static_cast<std::uint64_t>(groups_[i].total));
+    os << '}';
+  }
+  os << "],\"eta\":{\"ewma_cell_s\":";
+  write_json_number(os, eta_.ewma_s());
+  const std::size_t remaining = cells_total_ > done_ ? cells_total_ - done_ : 0;
+  os << ",\"eta_s\":";
+  write_json_number(os, eta_.eta_s(remaining, jobs_));
+  os << ",\"percent\":";
+  const double percent =
+      cells_total_ == 0 ? 100.0
+                        : 100.0 * static_cast<double>(done_) /
+                              static_cast<double>(cells_total_);
+  write_json_number(os, percent);
+  os << '}';
+  if (profiler_ != nullptr) {
+    const TrialProfiler::Report report = profiler_->report();
+    os << ",\"workers\":[";
+    for (std::size_t i = 0; i < report.workers.size(); ++i) {
+      if (i != 0) os << ',';
+      os << "{\"tasks\":";
+      write_json_number(os,
+                        static_cast<std::uint64_t>(report.workers[i].tasks));
+      os << ",\"busy_s\":";
+      write_json_number(os, report.workers[i].busy_s);
+      os << ",\"utilization\":";
+      write_json_number(os, report.workers[i].utilization);
+      os << '}';
+    }
+    os << ']';
+  }
+  os << "}\n";
+  return os.str();
+}
+
+void StatusBoard::write_snapshot_locked(const std::string& state, bool force) {
+  const auto now = std::chrono::steady_clock::now();
+  if (!force && wrote_once_) {
+    const double since =
+        std::chrono::duration<double>(now - last_write_).count();
+    if (since < options_.heartbeat_s) return;
+  }
+  atomic_write_file(options_.path, snapshot_json_locked(state));
+  last_write_ = now;
+  wrote_once_ = true;
+  if (options_.progress) {
+    const std::size_t remaining =
+        cells_total_ > done_ ? cells_total_ - done_ : 0;
+    const double percent =
+        cells_total_ == 0 ? 100.0
+                          : 100.0 * static_cast<double>(done_) /
+                                static_cast<double>(cells_total_);
+    std::fprintf(stderr, "progress: %zu/%zu cells (%.1f%%), eta %.1fs [%s]\n",
+                 done_, cells_total_, percent, eta_.eta_s(remaining, jobs_),
+                 state.c_str());
+  }
+}
+
+}  // namespace simsweep::obs

@@ -1,0 +1,146 @@
+// Live sweep telemetry: periodic, crash-consistent status snapshots.
+//
+// A multi-hour sweep used to give no sign of life until it exited.  The
+// StatusBoard fixes that without touching the simulation: the sweep runner
+// reports cell lifecycle events (started / finished / reused / retried /
+// quarantined) through null-guarded pointer calls — the same zero-overhead
+// contract as the auditor and the metrics registry — and the board
+// periodically publishes a JSON snapshot via obs::atomic_write_file, so a
+// monitor (or `simsweep status FILE`) always reads a complete, current
+// document even if the sweep is SIGKILLed mid-heartbeat.
+//
+// Snapshots are deliberately wall-clock artifacts, like the trial profiler:
+// they carry epoch timestamps and host-machine durations and are never
+// merged into the reproducible artifacts.  The ETA, however, is a pure
+// function of the recorded per-cell durations (EtaEstimator), so replaying
+// the same duration sequence yields bitwise-identical estimates at any
+// --jobs.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/provenance.hpp"
+
+namespace simsweep::obs {
+
+class TrialProfiler;
+
+/// Wall-clock ETA from an exponentially weighted moving average of
+/// completed-cell durations.  Pure and deterministic: feeding the same
+/// duration sequence produces bitwise-identical estimates regardless of how
+/// many workers produced them.
+class EtaEstimator {
+ public:
+  /// `alpha` is the EWMA weight of the newest sample, in (0, 1].
+  explicit EtaEstimator(double alpha = 0.25);
+
+  /// Records one completed cell's wall-clock duration, in completion order.
+  void record(double duration_s);
+
+  [[nodiscard]] std::size_t completed() const noexcept { return completed_; }
+
+  /// Smoothed per-cell duration; 0 until the first record.
+  [[nodiscard]] double ewma_s() const noexcept { return ewma_s_; }
+
+  /// Estimated wall-clock seconds to finish `cells_remaining` more cells
+  /// with `jobs` parallel workers (jobs 0 counts as 1).  0 until the first
+  /// record — no history means no estimate, not an infinite one.
+  [[nodiscard]] double eta_s(std::size_t cells_remaining,
+                             std::size_t jobs) const noexcept;
+
+ private:
+  double alpha_;
+  double ewma_s_ = 0.0;
+  std::size_t completed_ = 0;
+};
+
+/// Periodic status-snapshot publisher for a running sweep.  Thread-safe:
+/// worker threads report cell events concurrently; the internal mutex is
+/// taken only on those (rare — once per cell, not per simulation event)
+/// calls.  Disabled telemetry never constructs a board at all: the sweep
+/// runner holds a `StatusBoard*` and every call site is a null check.
+class StatusBoard {
+ public:
+  struct Options {
+    std::string path;          ///< snapshot file; must be non-empty
+    double heartbeat_s = 1.0;  ///< min seconds between periodic snapshots
+    bool progress = false;     ///< one-line progress updates on stderr
+    double eta_alpha = 0.25;   ///< EWMA weight for the ETA estimator
+  };
+
+  explicit StatusBoard(Options options);
+
+  StatusBoard(const StatusBoard&) = delete;
+  StatusBoard& operator=(const StatusBoard&) = delete;
+
+  /// Describes the run and publishes the initial snapshot immediately, so
+  /// the file exists from the first instant (a kill before the first cell
+  /// still leaves a parseable, partial-marked snapshot).  `group_names` is
+  /// the strategy lineup; cell index i belongs to group i % group_names
+  /// .size() (the sweep grid is x-major).
+  void begin_run(const std::string& scenario, const Provenance& provenance,
+                 std::size_t cells_total, std::size_t trials, std::size_t jobs,
+                 std::vector<std::string> group_names);
+
+  /// Optional wall-clock profiler whose per-worker utilization is embedded
+  /// in each snapshot.  Must outlive the board.
+  void set_profiler(const TrialProfiler* profiler);
+
+  // Cell lifecycle, called from worker threads.
+  void cell_reused(std::size_t index);      ///< replayed from a journal
+  void cell_started(std::size_t index);     ///< claimed by a worker
+  void cell_retried(std::size_t index);     ///< one failed attempt, retrying
+  void cell_quarantined(std::size_t index); ///< retry budget exhausted
+  /// Completed successfully after `duration_s` wall-clock seconds (feeds
+  /// the ETA estimator).
+  void cell_finished(std::size_t index, double duration_s);
+
+  /// Publishes the final snapshot with the given terminal state
+  /// ("done" or "interrupted") — always written, heartbeat throttle ignored.
+  void finish(const std::string& state);
+
+  /// The snapshot JSON (single line + trailing newline).  Exposed for
+  /// tests; writers use the path from Options.
+  [[nodiscard]] std::string snapshot_json();
+
+ private:
+  struct Group {
+    std::string name;
+    std::size_t done = 0;
+    std::size_t total = 0;
+  };
+
+  void write_snapshot_locked(const std::string& state, bool force);
+  [[nodiscard]] std::string snapshot_json_locked(const std::string& state);
+  [[nodiscard]] double elapsed_s() const;
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::chrono::steady_clock::time_point last_write_;
+  bool wrote_once_ = false;
+
+  std::string scenario_;
+  Provenance provenance_;
+  std::size_t cells_total_ = 0;
+  std::size_t trials_ = 0;
+  std::size_t jobs_ = 1;
+  std::vector<Group> groups_;
+
+  std::size_t done_ = 0;      ///< finished + reused
+  std::size_t reused_ = 0;
+  std::size_t executed_ = 0;  ///< finished in this process
+  std::size_t in_flight_ = 0;
+  std::size_t retries_ = 0;
+  std::size_t quarantined_ = 0;
+
+  EtaEstimator eta_;
+  const TrialProfiler* profiler_ = nullptr;
+};
+
+}  // namespace simsweep::obs

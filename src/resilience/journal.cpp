@@ -1,37 +1,12 @@
 #include "resilience/journal.hpp"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
 #include <fstream>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/atomic_write.hpp"
+
 namespace simsweep::resilience {
-
-namespace {
-
-[[noreturn]] void fail_errno(const std::string& what, const std::string& path) {
-  throw std::runtime_error("journal: " + what + " '" + path +
-                           "': " + std::strerror(errno));
-}
-
-/// Directory part of `path` ("." when there is none), for the post-rename
-/// directory fsync that makes the new name itself durable.
-std::string parent_dir(const std::string& path) {
-  const std::size_t slash = path.find_last_of('/');
-  if (slash == std::string::npos) return ".";
-  if (slash == 0) return "/";
-  return path.substr(0, slash);
-}
-
-void fsync_fd(int fd, const std::string& path) {
-  if (::fsync(fd) != 0) fail_errno("fsync", path);
-}
-
-}  // namespace
 
 JournalWriter::JournalWriter(std::string path) : path_(std::move(path)) {}
 
@@ -47,38 +22,12 @@ void JournalWriter::append(std::string line, bool flush_now) {
 
 void JournalWriter::flush() {
   const std::lock_guard<std::mutex> lock(mutex_);
-  const std::string tmp = path_ + ".tmp";
-
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) fail_errno("open", tmp);
   std::string payload;
   for (const std::string& line : lines_) {
     payload += line;
     payload += '\n';
   }
-  std::size_t written = 0;
-  while (written < payload.size()) {
-    const ssize_t n =
-        ::write(fd, payload.data() + written, payload.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      fail_errno("write", tmp);
-    }
-    written += static_cast<std::size_t>(n);
-  }
-  fsync_fd(fd, tmp);
-  if (::close(fd) != 0) fail_errno("close", tmp);
-
-  if (::rename(tmp.c_str(), path_.c_str()) != 0) fail_errno("rename", tmp);
-
-  // fsync the directory so the rename (the publish) is itself durable.
-  const std::string dir = parent_dir(path_);
-  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dfd >= 0) {
-    fsync_fd(dfd, dir);
-    ::close(dfd);
-  }
+  obs::atomic_write_file(path_, payload);
 }
 
 std::size_t JournalWriter::record_count() const {

@@ -1,0 +1,617 @@
+// Tests for PR 10's observability surface: the EtaEstimator's determinism,
+// the StatusBoard's snapshot contract and zero-overhead identity, artifact
+// loading/kind-sniffing in src/report, the diff engine's tolerance and NaN
+// semantics, staleness detection, and the `simsweep report` / `simsweep
+// status` exit codes through the installed binary.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/sweep_runner.hpp"
+#include "obs/status.hpp"
+#include "report/analyze.hpp"
+#include "report/artifact.hpp"
+#include "resilience/json_read.hpp"
+#include "scenario/scenario.hpp"
+
+#ifndef SIMSWEEP_BINARY_PATH
+#define SIMSWEEP_BINARY_PATH "simsweep"
+#endif
+
+namespace {
+
+namespace cli = simsweep::cli;
+namespace obs = simsweep::obs;
+namespace report = simsweep::report;
+namespace res = simsweep::resilience;
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// A unique path under the system temp dir; removed (with any .tmp sibling)
+/// when the fixture object dies, so tests cannot observe each other's files.
+class TempPath {
+ public:
+  explicit TempPath(const std::string& stem) {
+    static std::atomic<unsigned> counter{0};
+    path_ = (std::filesystem::temp_directory_path() /
+             ("simsweep_report_" + stem + "_" + std::to_string(::getpid()) +
+              "_" + std::to_string(counter.fetch_add(1))))
+                .string();
+  }
+  ~TempPath() {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+    std::filesystem::remove(path_ + ".tmp", ec);
+  }
+  [[nodiscard]] const std::string& str() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary);
+  ASSERT_TRUE(out) << "cannot write " << path;
+  out << contents;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot read " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Runs `command` (already shell-quoted), captures stdout+stderr, and
+/// returns the exit code through `exit_code`.
+std::string run_command(const std::string& command, int& exit_code) {
+  FILE* pipe = ::popen((command + " 2>&1").c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  std::string output;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof buffer, pipe)) > 0)
+    output.append(buffer, n);
+  const int status = ::pclose(pipe);
+  exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return output;
+}
+
+/// A small but non-trivial sweep: 2 points x 4 strategies = 8 cells.
+cli::SweepPlan small_plan() {
+  cli::SweepPlan plan;
+  plan.spec = simsweep::scenario::sweep_scenario();
+  plan.spec.hosts = 8;
+  plan.spec.active = 4;
+  plan.spec.iterations = 10;
+  plan.spec.iter_minutes = 2.0;
+  plan.spec.spares = 4;
+  plan.spec.seed = 1;
+  plan.spec.axis.x = {0.0, 0.3};
+  plan.trials = 2;
+  plan.jobs = 1;
+  plan.hooks.interrupted = [] { return false; };
+  return plan;
+}
+
+std::string report_json(const cli::SweepResult& result) {
+  std::ostringstream os;
+  result.reports.front().print_json(os, &result.provenance);
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// EtaEstimator: a pure function of the recorded duration sequence
+
+TEST(EtaEstimator, MatchesHandComputedEwmaRecurrence) {
+  obs::EtaEstimator eta(0.25);
+  EXPECT_EQ(eta.completed(), 0u);
+  EXPECT_EQ(eta.ewma_s(), 0.0);
+
+  eta.record(2.0);  // first sample sets the EWMA directly
+  EXPECT_EQ(eta.ewma_s(), 2.0);
+  eta.record(4.0);  // 0.25 * 4 + 0.75 * 2
+  EXPECT_EQ(eta.ewma_s(), 2.5);
+  eta.record(1.0);  // 0.25 * 1 + 0.75 * 2.5
+  EXPECT_EQ(eta.ewma_s(), 2.125);
+  EXPECT_EQ(eta.completed(), 3u);
+}
+
+TEST(EtaEstimator, SameSequenceIsBitwiseIdenticalAtAnyJobs) {
+  // The estimator never sees the worker count while recording, only when
+  // asked for an ETA — so the smoothed duration from one sequence is the
+  // same object at --jobs=1 and --jobs=4, and the ETA scales exactly.
+  const std::vector<double> durations = {0.125, 0.5, 0.25, 1.0, 0.0625};
+  obs::EtaEstimator a(0.25);
+  obs::EtaEstimator b(0.25);
+  for (const double d : durations) {
+    a.record(d);
+    b.record(d);
+  }
+  EXPECT_EQ(a.ewma_s(), b.ewma_s());  // bitwise, not approximate
+  EXPECT_EQ(a.eta_s(12, 1), b.eta_s(12, 1));
+  EXPECT_EQ(a.eta_s(12, 4), a.eta_s(12, 1) / 4.0);
+  EXPECT_EQ(a.eta_s(12, 0), a.eta_s(12, 1));  // jobs 0 counts as 1
+}
+
+TEST(EtaEstimator, EdgesAreClampedNotPropagated) {
+  obs::EtaEstimator eta(0.25);
+  EXPECT_EQ(eta.eta_s(100, 4), 0.0);  // no history -> no estimate
+  eta.record(-5.0);                   // clock skew clamps to 0
+  EXPECT_EQ(eta.ewma_s(), 0.0);
+  eta.record(kNaN);  // NaN clamps to 0 instead of poisoning the EWMA
+  EXPECT_FALSE(std::isnan(eta.ewma_s()));
+  eta.record(8.0);
+  EXPECT_GT(eta.ewma_s(), 0.0);
+  EXPECT_EQ(eta.eta_s(0, 4), 0.0);  // nothing remaining -> 0, not epsilon
+}
+
+TEST(EtaEstimator, InvalidAlphaFallsBackToDefault) {
+  obs::EtaEstimator bad(-1.0);
+  obs::EtaEstimator standard(0.25);
+  for (const double d : {1.0, 3.0, 2.0}) {
+    bad.record(d);
+    standard.record(d);
+  }
+  EXPECT_EQ(bad.ewma_s(), standard.ewma_s());
+}
+
+// ---------------------------------------------------------------------------
+// StatusBoard: snapshot contract
+
+TEST(StatusBoard, SnapshotCarriesLifecycleAndGroupProgress) {
+  TempPath path("board");
+  obs::StatusBoard::Options options;
+  options.path = path.str();
+  options.heartbeat_s = 0.0;  // publish on every event
+  obs::StatusBoard board(options);
+
+  obs::Provenance prov = obs::make_provenance(7, "cafe");
+  board.begin_run("demo", prov, 10, 2, 4, {"NONE", "SWAP", "DLB", "CR"});
+
+  // begin_run publishes immediately: a kill before the first cell still
+  // leaves a parseable, partial-marked snapshot on disk.
+  const auto first = res::parse_json(read_file(path.str()));
+  EXPECT_EQ(first.at("kind").as_string(), "sweep-status");
+  EXPECT_EQ(first.at("state").as_string(), "running");
+  EXPECT_TRUE(first.at("meta").at("partial").as_bool());
+  EXPECT_EQ(first.at("cells").at("total").as_uint64(), 10u);
+  // 10 cells over 4 groups: the remainder goes to the first groups.
+  const auto& groups = first.at("groups").as_array();
+  ASSERT_EQ(groups.size(), 4u);
+  EXPECT_EQ(groups[0].at("total").as_uint64(), 3u);
+  EXPECT_EQ(groups[1].at("total").as_uint64(), 3u);
+  EXPECT_EQ(groups[2].at("total").as_uint64(), 2u);
+  EXPECT_EQ(groups[3].at("total").as_uint64(), 2u);
+
+  board.cell_reused(0);
+  board.cell_started(1);
+  board.cell_retried(1);
+  board.cell_finished(1, 0.5);
+  board.cell_started(2);
+  board.cell_quarantined(2);
+  board.finish("done");
+
+  const auto last = res::parse_json(read_file(path.str()));
+  EXPECT_EQ(last.at("state").as_string(), "done");
+  EXPECT_EQ(last.at("meta").find("partial"), nullptr);  // terminal success
+  // "done" counts resolved cells: reused + executed + quarantined.
+  EXPECT_EQ(last.at("cells").at("done").as_uint64(), 3u);
+  EXPECT_EQ(last.at("cells").at("reused").as_uint64(), 1u);
+  EXPECT_EQ(last.at("cells").at("executed").as_uint64(), 1u);
+  EXPECT_EQ(last.at("cells").at("in_flight").as_uint64(), 0u);
+  EXPECT_EQ(last.at("cells").at("retries").as_uint64(), 1u);
+  EXPECT_EQ(last.at("cells").at("quarantined").as_uint64(), 1u);
+  // Cell index i belongs to group i % 4: reused 0, finished 1, quarantined 2.
+  const auto& done_groups = last.at("groups").as_array();
+  EXPECT_EQ(done_groups[0].at("done").as_uint64(), 1u);
+  EXPECT_EQ(done_groups[1].at("done").as_uint64(), 1u);
+  EXPECT_EQ(done_groups[2].at("done").as_uint64(), 1u);
+  EXPECT_EQ(done_groups[3].at("done").as_uint64(), 0u);
+  EXPECT_EQ(last.at("eta").at("ewma_cell_s").as_double(), 0.5);
+}
+
+TEST(StatusBoard, InterruptedFinishMarksPartial) {
+  TempPath path("partial");
+  obs::StatusBoard board({path.str(), 0.0, false, 0.25});
+  board.begin_run("demo", obs::Provenance{}, 4, 1, 1, {"NONE"});
+  board.cell_started(0);
+  board.finish("interrupted");
+  const auto doc = res::parse_json(read_file(path.str()));
+  EXPECT_EQ(doc.at("state").as_string(), "interrupted");
+  EXPECT_TRUE(doc.at("meta").at("partial").as_bool());
+}
+
+// ---------------------------------------------------------------------------
+// Zero-overhead identity: observation never perturbs the simulation
+
+TEST(StatusBoard, ObservedSweepIsBitwiseIdenticalToPlain) {
+  cli::SweepPlan plain = small_plan();
+  plain.metrics = true;
+  const cli::SweepResult baseline = cli::run_sweep(plain);
+
+  TempPath snapshot("identity");
+  obs::StatusBoard::Options options;
+  options.path = snapshot.str();
+  options.heartbeat_s = 0.0;  // maximum observation pressure
+  obs::StatusBoard board(options);
+
+  cli::SweepPlan observed = small_plan();
+  observed.metrics = true;
+  observed.jobs = 4;  // and at different parallelism
+  observed.status = &board;
+  const cli::SweepResult result = cli::run_sweep(observed);
+
+  EXPECT_EQ(baseline.metrics_json, result.metrics_json);
+  EXPECT_EQ(report_json(baseline), report_json(result));
+
+  // ... and the snapshot faithfully describes the finished sweep.
+  const report::Artifact artifact = report::load_artifact(snapshot.str());
+  ASSERT_EQ(artifact.kind, report::ArtifactKind::kStatus);
+  EXPECT_EQ(artifact.status.state, "done");
+  EXPECT_EQ(artifact.status.cells_total, 8u);
+  EXPECT_EQ(artifact.status.cells_done, 8u);
+  EXPECT_EQ(artifact.status.cells_executed, 8u);
+  EXPECT_EQ(artifact.status.quarantined, 0u);
+  ASSERT_EQ(artifact.status.groups.size(), 4u);
+  for (const auto& group : artifact.status.groups)
+    EXPECT_EQ(group.done, group.total);
+}
+
+// ---------------------------------------------------------------------------
+// Artifact loading: kind sniffing from document structure
+
+TEST(ArtifactLoad, SniffsEveryEmitterWithoutFilenameHints) {
+  cli::SweepPlan plan = small_plan();
+  plan.metrics = true;
+  plan.timeline = true;
+  TempPath journal("journal");
+  plan.journal_path = journal.str();
+  const cli::SweepResult result = cli::run_sweep(plan);
+
+  const report::Artifact loaded_journal =
+      report::load_artifact(journal.str());
+  ASSERT_EQ(loaded_journal.kind, report::ArtifactKind::kJournal);
+  EXPECT_EQ(loaded_journal.journal.cells_total, 8u);
+  ASSERT_EQ(loaded_journal.journal.cells.size(), 8u);
+  EXPECT_EQ(loaded_journal.journal.trials, 2u);
+
+  TempPath metrics("metrics");
+  write_file(metrics.str(), result.metrics_json);
+  const report::Artifact loaded_metrics =
+      report::load_artifact(metrics.str());
+  ASSERT_EQ(loaded_metrics.kind, report::ArtifactKind::kMetrics);
+  EXPECT_FALSE(loaded_metrics.metrics.counters.empty());
+
+  TempPath timeline("timeline");
+  write_file(timeline.str(), result.timeline_json);
+  const report::Artifact loaded_timeline =
+      report::load_artifact(timeline.str());
+  ASSERT_EQ(loaded_timeline.kind, report::ArtifactKind::kTimeline);
+  EXPECT_GT(loaded_timeline.timeline.events, 0u);
+
+  TempPath profile("profile");
+  write_file(profile.str(),
+             R"({"tasks":8,"wall_s":1.5,"mean_task_s":0.1,"min_task_s":0.05,)"
+             R"("max_task_s":0.2,"mean_queue_wait_s":0.01,)"
+             R"("max_queue_wait_s":0.02,"workers":[{"worker":0,"tasks":8,)"
+             R"("busy_s":0.8,"utilization":0.53}]})"
+             "\n");
+  const report::Artifact loaded_profile =
+      report::load_artifact(profile.str());
+  ASSERT_EQ(loaded_profile.kind, report::ArtifactKind::kProfile);
+  EXPECT_EQ(loaded_profile.profile.tasks, 8u);
+  ASSERT_EQ(loaded_profile.profile.workers.size(), 1u);
+  EXPECT_EQ(loaded_profile.profile.workers[0].busy_s, 0.8);
+
+  TempPath quarantine("quarantine");
+  write_file(quarantine.str(),
+             R"({"quarantined":[{"index":3,"key":"abc","seed":1,"trials":2,)"
+             R"("label":"DLB","outcome":"failed","attempts":2,)"
+             R"("error":"boom"}]})"
+             "\n");
+  const report::Artifact loaded_quarantine =
+      report::load_artifact(quarantine.str());
+  ASSERT_EQ(loaded_quarantine.kind, report::ArtifactKind::kQuarantine);
+  ASSERT_EQ(loaded_quarantine.quarantine.records.size(), 1u);
+  EXPECT_EQ(loaded_quarantine.quarantine.records[0].error, "boom");
+
+  TempPath series("series");
+  write_file(series.str(),
+             R"({"title":"fig1","x_label":"dynamism","x":[0,0.3],)"
+             R"("series":[{"name":"NONE","mean_makespan_s":[1.5,null],)"
+             R"("mean_adaptations":[0,0]}]})"
+             "\n");
+  const report::Artifact loaded_series = report::load_artifact(series.str());
+  ASSERT_EQ(loaded_series.kind, report::ArtifactKind::kSeries);
+  ASSERT_EQ(loaded_series.series.series.size(), 1u);
+  EXPECT_TRUE(std::isnan(loaded_series.series.series[0].makespan[1]));
+
+  TempPath junk("junk");
+  write_file(junk.str(), R"({"hello":"world"})");
+  EXPECT_THROW((void)report::load_artifact(junk.str()), std::runtime_error);
+  EXPECT_THROW((void)report::load_artifact("/nonexistent/simsweep_artifact"),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Diff: tolerance boundaries, NaN semantics, direction awareness
+
+report::Artifact metrics_artifact(
+    std::map<std::string, double> gauge_last_values) {
+  report::Artifact artifact;
+  artifact.kind = report::ArtifactKind::kMetrics;
+  for (const auto& [name, last] : gauge_last_values) {
+    report::MetricsModel::Gauge gauge;
+    gauge.last = gauge.min = gauge.max = last;
+    artifact.metrics.gauges[name] = gauge;
+  }
+  return artifact;
+}
+
+const report::KeyDelta* find_delta(const report::DiffResult& result,
+                                   const std::string& key) {
+  for (const auto& delta : result.deltas)
+    if (delta.key == key) return &delta;
+  return nullptr;
+}
+
+TEST(Diff, AbsoluteToleranceBoundaryIsInclusive) {
+  const auto a = metrics_artifact({{"g", 1.0}});
+  const auto at_tol = metrics_artifact({{"g", 1.5}});
+  report::DiffOptions options;
+  options.abs_tol = 0.5;
+  const auto ok = report::diff_artifacts(a, at_tol, options);
+  EXPECT_FALSE(ok.regression());  // |delta| == abs_tol passes
+  EXPECT_EQ(ok.within_tol, ok.compared);
+
+  const auto over_tol = metrics_artifact({{"g", 1.5625}});
+  const auto gated = report::diff_artifacts(a, over_tol, options);
+  EXPECT_TRUE(gated.regression());
+}
+
+TEST(Diff, RelativeToleranceScalesWithTheLargerMagnitude) {
+  const auto a = metrics_artifact({{"g", 100.0}});
+  const auto b = metrics_artifact({{"g", 110.0}});
+  report::DiffOptions loose;
+  loose.rel_tol = 0.1;  // 10 <= 0.1 * max(100, 110) = 11
+  EXPECT_FALSE(report::diff_artifacts(a, b, loose).regression());
+  report::DiffOptions tight;
+  tight.rel_tol = 0.05;  // 10 > 5.5
+  EXPECT_TRUE(report::diff_artifacts(a, b, tight).regression());
+}
+
+TEST(Diff, NaNEqualsNaNButNotNumbers) {
+  // A quarantined cell that stayed quarantined is not a regression; a cell
+  // that disappeared (or came back) is, in either direction.
+  const auto both = report::diff_artifacts(metrics_artifact({{"g", kNaN}}),
+                                           metrics_artifact({{"g", kNaN}}),
+                                           report::DiffOptions{});
+  EXPECT_FALSE(both.regression());
+  EXPECT_EQ(both.within_tol, both.compared);
+
+  const auto vanished = report::diff_artifacts(
+      metrics_artifact({{"g", 2.0}}), metrics_artifact({{"g", kNaN}}),
+      report::DiffOptions{});
+  EXPECT_TRUE(vanished.regression());
+  const auto* delta = find_delta(vanished, "gauges/g/last");
+  ASSERT_NE(delta, nullptr);
+  EXPECT_EQ(delta->verdict, report::Verdict::kRegressed);
+
+  const auto returned = report::diff_artifacts(
+      metrics_artifact({{"g", kNaN}}), metrics_artifact({{"g", 2.0}}),
+      report::DiffOptions{});
+  EXPECT_TRUE(returned.regression());
+}
+
+TEST(Diff, MissingKeyGatesAddedKeyInforms) {
+  const auto missing = report::diff_artifacts(
+      metrics_artifact({{"g", 1.0}, {"h", 2.0}}),
+      metrics_artifact({{"g", 1.0}}), report::DiffOptions{});
+  EXPECT_TRUE(missing.regression());
+  const auto* gone = find_delta(missing, "gauges/h/last");
+  ASSERT_NE(gone, nullptr);
+  EXPECT_EQ(gone->verdict, report::Verdict::kMissing);
+
+  const auto added = report::diff_artifacts(
+      metrics_artifact({{"g", 1.0}}),
+      metrics_artifact({{"g", 1.0}, {"h", 2.0}}), report::DiffOptions{});
+  EXPECT_FALSE(added.regression());  // new keys never gate
+  const auto* fresh = find_delta(added, "gauges/h/last");
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh->verdict, report::Verdict::kAdded);
+}
+
+TEST(Diff, LowerIsBetterKeysOnlyGateOnGrowth) {
+  // "makespan" marks the key lower-is-better: shrinking beyond tolerance is
+  // an improvement (reported, not gated); growth is a regression.
+  const auto faster = report::diff_artifacts(
+      metrics_artifact({{"makespan_s", 10.0}}),
+      metrics_artifact({{"makespan_s", 8.0}}), report::DiffOptions{});
+  EXPECT_FALSE(faster.regression());
+  const auto* improved = find_delta(faster, "gauges/makespan_s/last");
+  ASSERT_NE(improved, nullptr);
+  EXPECT_EQ(improved->verdict, report::Verdict::kImproved);
+
+  const auto slower = report::diff_artifacts(
+      metrics_artifact({{"makespan_s", 10.0}}),
+      metrics_artifact({{"makespan_s", 12.0}}), report::DiffOptions{});
+  EXPECT_TRUE(slower.regression());
+
+  // A direction-less key gates on any out-of-tolerance drift — this repo
+  // promises bitwise identity, so unexplained movement must fail CI.
+  const auto drift = report::diff_artifacts(
+      metrics_artifact({{"queue_depth", 10.0}}),
+      metrics_artifact({{"queue_depth", 8.0}}), report::DiffOptions{});
+  EXPECT_TRUE(drift.regression());
+  const auto* changed = find_delta(drift, "gauges/queue_depth/last");
+  ASSERT_NE(changed, nullptr);
+  EXPECT_EQ(changed->verdict, report::Verdict::kChanged);
+}
+
+TEST(Diff, KindMismatchThrows) {
+  report::Artifact status;
+  status.kind = report::ArtifactKind::kStatus;
+  EXPECT_THROW((void)report::diff_artifacts(metrics_artifact({}), status,
+                                            report::DiffOptions{}),
+               std::invalid_argument);
+}
+
+TEST(Diff, StatusFlattenIgnoresRunPathCounters) {
+  // A resumed sweep reuses cells a fresh run executes; both end "done" with
+  // the same totals.  The flatten must compare the destination, not the
+  // route, so resumed-vs-fresh gates nothing.
+  report::Artifact fresh;
+  fresh.kind = report::ArtifactKind::kStatus;
+  fresh.status.cells_total = fresh.status.cells_done = 8;
+  fresh.status.cells_executed = 8;
+  fresh.status.groups.push_back({"NONE", 4, 4});
+
+  report::Artifact resumed = fresh;
+  resumed.status.cells_executed = 3;
+  resumed.status.cells_reused = 5;
+  resumed.status.retries = 2;
+
+  const auto result =
+      report::diff_artifacts(fresh, resumed, report::DiffOptions{});
+  EXPECT_FALSE(result.regression());
+  EXPECT_TRUE(result.deltas.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Top: hot-spot ranking
+
+TEST(Top, RanksJournalCellsBySimulatedMakespan) {
+  cli::SweepPlan plan = small_plan();
+  TempPath journal("top");
+  plan.journal_path = journal.str();
+  (void)cli::run_sweep(plan);
+
+  const report::Artifact artifact = report::load_artifact(journal.str());
+  const auto top = report::top_entries(artifact, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_GE(top[0].value, top[1].value);
+  EXPECT_GE(top[1].value, top[2].value);
+
+  report::Artifact timeline;
+  timeline.kind = report::ArtifactKind::kTimeline;
+  EXPECT_THROW((void)report::top_entries(timeline, 3), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Staleness
+
+report::StatusModel running_at(double heartbeat_unix_s) {
+  report::StatusModel status;
+  status.state = "running";
+  status.heartbeat_unix_s = heartbeat_unix_s;
+  return status;
+}
+
+TEST(Staleness, StrictlyAboveThresholdAndOnlyWhileRunning) {
+  const auto status = running_at(1000.0);
+  EXPECT_EQ(report::staleness_s(status, 1025.0), 25.0);
+  EXPECT_FALSE(report::is_stale(status, 1025.0, 30.0));
+  EXPECT_FALSE(report::is_stale(status, 1030.0, 30.0));  // == is not stale
+  EXPECT_TRUE(report::is_stale(status, 1030.5, 30.0));
+
+  // Terminal states never go stale — the writer is supposed to be gone.
+  auto done = running_at(1000.0);
+  done.state = "done";
+  EXPECT_FALSE(report::is_stale(done, 99999.0, 30.0));
+  auto interrupted = running_at(1000.0);
+  interrupted.state = "interrupted";
+  EXPECT_FALSE(report::is_stale(interrupted, 99999.0, 30.0));
+}
+
+// ---------------------------------------------------------------------------
+// Exit codes through the installed binary
+
+TEST(ReportCli, DiffExitsZeroOnIdenticalAndThreeOnRegression) {
+  cli::SweepPlan plan = small_plan();
+  TempPath journal_a("cli_a");
+  plan.journal_path = journal_a.str();
+  (void)cli::run_sweep(plan);
+
+  TempPath journal_b("cli_b");
+  cli::SweepPlan same = small_plan();
+  same.journal_path = journal_b.str();
+  (void)cli::run_sweep(same);
+
+  TempPath journal_c("cli_c");
+  cli::SweepPlan shifted = small_plan();
+  shifted.spec.seed = 2;  // an injected "regression": different results
+  shifted.journal_path = journal_c.str();
+  (void)cli::run_sweep(shifted);
+
+  const std::string binary = SIMSWEEP_BINARY_PATH;
+  int exit_code = -1;
+  std::string output = run_command(
+      binary + " report diff " + journal_a.str() + " " + journal_b.str(),
+      exit_code);
+  EXPECT_EQ(exit_code, 0) << output;
+  EXPECT_NE(output.find("verdict: ok"), std::string::npos) << output;
+
+  output = run_command(
+      binary + " report diff " + journal_a.str() + " " + journal_c.str(),
+      exit_code);
+  EXPECT_EQ(exit_code, 3) << output;
+  EXPECT_NE(output.find("verdict: REGRESSION"), std::string::npos) << output;
+
+  // A huge relative tolerance waives the gate without hiding the deltas.
+  output = run_command(binary + " report diff " + journal_a.str() + " " +
+                           journal_c.str() + " --rel-tol=10",
+                       exit_code);
+  EXPECT_EQ(exit_code, 0) << output;
+
+  output = run_command(binary + " report", exit_code);
+  EXPECT_EQ(exit_code, 2) << output;  // usage error
+}
+
+TEST(ReportCli, StatusExitsFourOnStaleHeartbeat) {
+  // A running snapshot whose heartbeat is decades old: the writer is dead.
+  TempPath stale("stale");
+  write_file(stale.str(),
+             R"({"kind":"sweep-status","meta":{"version":"t","build_type":)"
+             R"("Release","seed":1,"config_digest":"00","partial":true},)"
+             R"("scenario":"demo","state":"running","heartbeat_unix_s":1000,)"
+             R"("elapsed_s":5,"heartbeat_s":1,"jobs":2,"trials":2,)"
+             R"("cells":{"total":8,"done":1,"reused":0,"executed":1,)"
+             R"("in_flight":1,"retries":0,"quarantined":0},)"
+             R"("groups":[{"name":"NONE","done":1,"total":8}],)"
+             R"("eta":{"ewma_cell_s":0.5,"eta_s":3.5,"percent":12.5}})"
+             "\n");
+
+  const std::string binary = SIMSWEEP_BINARY_PATH;
+  int exit_code = -1;
+  std::string output =
+      run_command(binary + " status " + stale.str(), exit_code);
+  EXPECT_EQ(exit_code, 4) << output;
+  EXPECT_NE(output.find("STALE"), std::string::npos) << output;
+
+  // The same snapshot marked terminal is merely old, not stale.
+  TempPath done("done");
+  std::string body = read_file(stale.str());
+  const auto pos = body.find("\"running\"");
+  ASSERT_NE(pos, std::string::npos);
+  body.replace(pos, 9, "\"interrupted\"");
+  write_file(done.str(), body);
+  output = run_command(binary + " status " + done.str(), exit_code);
+  EXPECT_EQ(exit_code, 0) << output;
+
+  output = run_command(binary + " status", exit_code);
+  EXPECT_EQ(exit_code, 2) << output;  // usage error
+}
+
+}  // namespace
